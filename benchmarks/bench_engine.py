@@ -1,0 +1,116 @@
+"""Engine microbenchmarks: SAT solver, bit-blaster, simulator throughput.
+
+Not a paper table — these quantify the substrate the UPEC runtimes rest
+on (our pure-Python CDCL vs. the paper's commercial checker), so the
+absolute runtime differences in Tab. I/II are interpretable.
+"""
+
+import random
+
+import pytest
+
+from repro.formal import Aig, BmcEngine, CdclSolver
+from repro.hdl import Circuit, mux
+from repro.sim import Simulator
+from repro.soc import SocConfig, build_soc
+from repro.soc import isa
+from repro.soc.simulator import SocSim
+
+
+def pigeonhole_cnf(pigeons, holes):
+    def var(i, j):
+        return i * holes + j + 1
+
+    clauses = [[var(i, j) for j in range(holes)] for i in range(pigeons)]
+    for j in range(holes):
+        for i1 in range(pigeons):
+            for i2 in range(i1 + 1, pigeons):
+                clauses.append([-var(i1, j), -var(i2, j)])
+    return pigeons * holes, clauses
+
+
+def random_3sat(nvars, nclauses, seed):
+    rng = random.Random(seed)
+    clauses = []
+    for _ in range(nclauses):
+        clause_vars = rng.sample(range(1, nvars + 1), 3)
+        clauses.append([v if rng.random() < 0.5 else -v for v in clause_vars])
+    return clauses
+
+
+@pytest.mark.benchmark(group="solver")
+def test_solver_pigeonhole_unsat(benchmark):
+    """PHP(6,5): a canonical hard-ish UNSAT instance."""
+    def run():
+        nvars, clauses = pigeonhole_cnf(6, 5)
+        solver = CdclSolver()
+        for _ in range(nvars):
+            solver.new_var()
+        solver.add_clauses(clauses)
+        assert solver.solve() is False
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="solver")
+def test_solver_random_3sat(benchmark):
+    """Random 3-SAT near the phase transition (ratio 4.2)."""
+    def run():
+        nvars = 120
+        solver = CdclSolver()
+        for _ in range(nvars):
+            solver.new_var()
+        solver.add_clauses(random_3sat(nvars, int(nvars * 4.2), seed=7))
+        assert solver.solve() in (True, False)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="formal")
+def test_bmc_counter_proof(benchmark):
+    """BMC of a counter property — bit-blast + solve round trip."""
+    def run():
+        c = Circuit("counter")
+        cnt = c.reg("cnt", 16, init=0)
+        c.next(cnt, cnt + 1)
+        c.finalize()
+        engine = BmcEngine(c, init="reset")
+        assert engine.check_always(cnt.ne(50), k=20).holds
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="sim")
+def test_soc_simulation_throughput(benchmark):
+    """Cycles/second of the full SoC RTL under simulation."""
+    soc = build_soc(SocConfig.secure())
+    program = [i.encode() for i in [
+        isa.li(1, 1), isa.li(2, 0),
+        isa.add(2, 2, 1),
+        isa.bne(2, 0, -1),
+        isa.jal(0, 0),
+    ]]
+
+    def run():
+        sim = SocSim(soc, program)
+        sim.step(300)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="sim")
+def test_plain_simulator_throughput(benchmark):
+    """Baseline: simulator stepping cost on a small circuit."""
+    c = Circuit("t")
+    a = c.reg("a", 32, init=1)
+    b = c.reg("b", 32, init=2)
+    c.next(a, a + b)
+    c.next(b, mux(a[0], a ^ b, b))
+    c.finalize()
+
+    def run():
+        sim = Simulator(c)
+        for _ in range(2000):
+            sim.step()
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,122 @@
+"""Table II — detecting vulnerabilities in the modified designs.
+
+For the Orc and Meltdown-style variants, measures the window length and
+proof runtime needed to obtain the first P-alert and the first L-alert.
+The paper's shape:
+
+* P-alert windows are shorter than L-alert windows (the propagation into
+  internal buffers precedes its architectural manifestation),
+* the Orc channel is shallower than the Meltdown-style channel (RAW-stall
+  timing shows up before a refill + probe can complete): paper windows
+  2/4 (Orc) vs. 4/9 (Meltdown).
+
+Two software models are measured: the fully *symbolic* program (UPEC's
+exhaustive search — the earliest channel found is a transient
+secret-dependent branch the bypass also enables), and the *fixed*
+branch-free attack kernels, which isolate the two specific channels.
+"""
+
+import time
+
+import pytest
+
+from repro.core import UpecMethodology, UpecModel, UpecScenario, UpecChecker
+from repro.core.report import format_table
+from repro.soc import isa
+
+ORC_PROGRAM = [i.encode() for i in [
+    isa.sb(3, 0, 2),      # pending write (registers symbolic)
+    isa.lb(4, 0, 1),      # illegal load of the secret
+    isa.lb(5, 0, 4),      # dependent load: the covert access
+    isa.nop(), isa.nop(), isa.nop(), isa.nop(), isa.nop(),
+]]
+
+MELTDOWN_PROGRAM = [i.encode() for i in [
+    isa.lb(4, 0, 1),      # illegal load of the secret
+    isa.lb(5, 0, 4),      # squashed dependent load -> refill footprint
+    isa.lb(6, 0, 2),      # probe load: timing depends on the footprint
+    isa.nop(), isa.nop(), isa.nop(), isa.nop(), isa.nop(),
+]]
+
+PAPER_WINDOWS = {"orc": (2, 4), "meltdown": (4, 9)}
+
+
+def run_methodology(soc, scenario, k):
+    start = time.perf_counter()
+    result = UpecMethodology(soc, scenario).run(k=k)
+    return result, time.perf_counter() - start
+
+
+def measure_variant(soc, program, k=14):
+    # Deterministic software model: fixed program, drained pipeline,
+    # pinned start pc — windows count from instruction fetch, as in the
+    # paper's measurements; the unrolled model constant-folds.
+    scenario = UpecScenario(
+        secret_in_cache=True,
+        fixed_program=program,
+        no_inflight_branches=True,
+        pipeline_drained=True,
+        pin_pc=0,
+    )
+    result, runtime = run_methodology(soc, scenario, k)
+    assert result.verdict == "insecure", result.describe()
+    p_window = min(a.frame for a in result.p_alerts)
+    l_window = result.l_alert.frame
+    return p_window, l_window, runtime, result
+
+
+def test_table2_fixed_program_windows(formal_socs, capsys):
+    rows = []
+    measured = {}
+    for variant, program in (("orc", ORC_PROGRAM),
+                             ("meltdown", MELTDOWN_PROGRAM)):
+        p_w, l_w, runtime, result = measure_variant(
+            formal_socs[variant], program
+        )
+        measured[variant] = (p_w, l_w)
+        paper_p, paper_l = PAPER_WINDOWS[variant]
+        rows.append([variant, f"{paper_p}", p_w, f"{paper_l}", l_w,
+                     f"{runtime:.1f}s"])
+    with capsys.disabled():
+        print("\n[Tab. II] window lengths for first P-/L-alert "
+              "(fixed attack kernels):")
+        print(format_table(
+            ["variant", "paper P-window", "measured P-window",
+             "paper L-window", "measured L-window", "runtime"],
+            rows,
+        ))
+    # Shape: P before L, within each variant.
+    for variant, (p_w, l_w) in measured.items():
+        assert p_w <= l_w, variant
+    # Shape: the Orc channel is shallower than the Meltdown-style one.
+    assert measured["orc"][1] <= measured["meltdown"][1]
+
+
+def test_table2_symbolic_program_finds_channels_earlier(formal_socs, capsys):
+    """With the fully symbolic program UPEC finds the earliest covert
+    channel the bypass enables (a transient secret-dependent branch) —
+    never later than the fixed-program windows."""
+    rows = []
+    for variant in ("orc", "meltdown"):
+        scenario = UpecScenario(secret_in_cache=True)
+        result, runtime = run_methodology(formal_socs[variant], scenario, k=6)
+        assert result.verdict == "insecure"
+        rows.append([variant, min(a.frame for a in result.p_alerts),
+                     result.l_alert.frame, f"{runtime:.1f}s"])
+    with capsys.disabled():
+        print("\n[Tab. II addendum] symbolic-program (exhaustive) windows:")
+        print(format_table(
+            ["variant", "P-window", "L-window", "runtime"], rows))
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_orc_alert_cost(benchmark, formal_socs):
+    """Proof cost of the first Orc P-alert (paper: 1 min on OneSpin)."""
+    def find_first_alert():
+        scenario = UpecScenario(secret_in_cache=True)
+        model = UpecModel(formal_socs["orc"], scenario)
+        result = UpecChecker(model).check(k=2)
+        assert result.status == "alert"
+        return result
+
+    benchmark.pedantic(find_first_alert, rounds=2, iterations=1)

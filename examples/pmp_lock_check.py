@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""The PMP lock violation of Sec. VII-C.
+
+RocketChip's PMP implementation omitted the ISA rule that locking a TOR
+region's end entry also locks the region's start-address register.  This
+example shows the bug three ways:
+
+1. ISA compliance: the buggy RTL diverges from the golden ISS on a locked
+   PMP write sequence.
+2. Main-channel leak: on the buggy design, machine-mode software can move
+   the region start past the secret and user code then reads it directly.
+3. UPEC: the same two-instance property that finds covert channels also
+   flags this main channel (an L-alert into the register file), without
+   any security specification.
+
+Run:  python examples/pmp_lock_check.py
+"""
+
+from repro.core import UpecMethodology, UpecScenario
+from repro.soc import Iss, SocConfig, SocSim, build_soc
+from repro.soc import isa
+from repro.soc.config import FORMAL_CONFIG_KWARGS
+
+
+def compliance_check() -> None:
+    print("1. ISA compliance (RTL vs golden ISS)")
+    code = [
+        isa.li(1, isa.PMP_A | isa.PMP_L),
+        isa.csrw(isa.CSR_PMPCFG1, 1),     # lock the TOR end entry
+        isa.li(2, 20),
+        isa.csrw(isa.CSR_PMPADDR0, 2),    # must be ignored per the ISA
+        isa.csrr(3, isa.CSR_PMPADDR0),
+        isa.jal(0, 0),
+    ]
+    words = [i.encode() for i in code]
+    for variant in ("secure", "pmp_bug"):
+        soc = build_soc(getattr(SocConfig, variant)())
+        sim = SocSim(soc, words)
+        sim.run_until_halt(5)
+        spec = Iss(SocConfig.secure(), words)
+        spec.run(100, stop_pc=5)
+        verdict = "compliant" if sim.reg(3) == spec.regs[3] else \
+            "INCOMPLIANT (locked pmpaddr0 was overwritten)"
+        print(f"   {variant:8s}: pmpaddr0 after locked write = "
+              f"{sim.reg(3)} (spec: {spec.regs[3]}) -> {verdict}")
+
+
+def exploit_check() -> None:
+    print("\n2. Exploit: unlock-by-moving-the-start-address")
+    from repro.soc.assembler import assemble
+
+    config = SocConfig.pmp_bug()
+    secret_value = 0xEE
+    # Machine-mode code locks the region around the secret, then (acting
+    # as a confused deputy) rewrites pmpaddr0 and drops to user mode.
+    # A trap (on the compliant design) lands on the word at the trap
+    # vector, which jumps to its own halt loop.
+    words = assemble([
+        ("jal", 0, "start"),
+        "trapped:",                        # word 1 == config.trap_vector
+        isa.jal(0, 0),
+        "start:",
+        isa.li(1, config.secret_addr),
+        isa.csrw(isa.CSR_PMPADDR0, 1),
+        isa.csrw(isa.CSR_PMPADDR1, 1),
+        isa.li(2, isa.PMP_A | isa.PMP_L),
+        isa.csrw(isa.CSR_PMPCFG1, 2),      # region locked
+        isa.li(3, config.secret_addr + 1),
+        isa.csrw(isa.CSR_PMPADDR0, 3),     # moves the start past the secret!
+        isa.li(4, 12),                     # user entry = the lb below
+        isa.csrw(isa.CSR_MEPC, 4),
+        isa.mret(),
+        isa.lb(5, 0, 1),                   # user load of the "protected" word
+        isa.jal(0, 0),
+    ])
+    memory = [0] * config.dmem_words
+    memory[config.secret_addr % config.dmem_words] = secret_value
+    for variant in ("secure", "pmp_bug"):
+        soc = build_soc(getattr(SocConfig, variant)())
+        sim = SocSim(soc, words, memory=memory)
+        sim.step(300)
+        leaked = sim.reg(5) == secret_value
+        print(f"   {variant:8s}: user-mode x5 = {sim.reg(5):#04x} -> "
+              f"{'SECRET LEAKED' if leaked else 'load blocked (trap)'}")
+
+
+def upec_check() -> None:
+    print("\n3. UPEC finds the main channel automatically")
+    # Software model: the unlock gadget with symbolic operand registers
+    # (see benchmarks/bench_pmp_violation.py); UPEC searches the data.
+    exploit = [i.encode() for i in [
+        isa.csrw(isa.CSR_PMPADDR0, 3),
+        isa.csrw(isa.CSR_MEPC, 4),
+        isa.mret(),
+        isa.lb(5, 0, 1),
+        isa.nop(), isa.nop(), isa.nop(), isa.nop(),
+    ]]
+    scenario = UpecScenario(
+        secret_in_cache=True, fixed_program=exploit,
+        no_inflight_branches=True, pipeline_drained=True, pin_pc=0,
+    )
+    for variant in ("pmp_bug",):
+        soc = build_soc(getattr(SocConfig, variant)(**FORMAL_CONFIG_KWARGS))
+        result = UpecMethodology(soc, scenario).run(k=14)
+        print(f"   {variant}: {result.verdict}")
+        if result.l_alert is not None:
+            print(f"   {result.l_alert.describe()}")
+
+
+if __name__ == "__main__":
+    compliance_check()
+    exploit_check()
+    upec_check()

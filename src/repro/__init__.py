@@ -1,0 +1,10 @@
+"""UPEC — Unique Program Execution Checking.
+
+A from-scratch reproduction of "Processor Hardware Security Vulnerabilities
+and their Detection by Unique Program Execution Checking" (Fadiheh et al.,
+DATE 2019): a word-level RTL IR, a cycle-accurate simulator, a SAT-based
+bounded model checker, an in-order RISC-V-like SoC with injectable covert
+channel vulnerabilities, and the UPEC security analysis on top.
+"""
+
+__version__ = "0.1.0"

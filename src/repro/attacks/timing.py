@@ -1,0 +1,58 @@
+"""Timing measurement utilities for the covert-channel attack demos."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class TimingSeries:
+    """Per-guess timing measurements of an attack loop."""
+
+    label: str
+    guesses: List[int]
+    cycles: List[int]
+
+    def outlier(self, exclude: Sequence[int] = ()) -> Optional[int]:
+        """The guess whose timing deviates from the common mode.
+
+        Returns None when the series is flat (no covert channel).
+        """
+        candidates = [
+            (g, t) for g, t in zip(self.guesses, self.cycles)
+            if g not in exclude
+        ]
+        if not candidates:
+            return None
+        times = [t for _, t in candidates]
+        baseline = _mode(times)
+        deviants = [(g, t) for g, t in candidates if t != baseline]
+        if len(deviants) != 1:
+            return None
+        return deviants[0][0]
+
+    def spread(self) -> int:
+        """max - min measured cycles (0 == perfectly flat timing)."""
+        return max(self.cycles) - min(self.cycles)
+
+    def as_rows(self) -> List[Dict[str, int]]:
+        return [
+            {"guess": g, "cycles": t}
+            for g, t in zip(self.guesses, self.cycles)
+        ]
+
+    def render(self) -> str:
+        lines = [f"{self.label}: guess -> cycles"]
+        baseline = _mode(self.cycles)
+        for g, t in zip(self.guesses, self.cycles):
+            marker = "  <-- deviates" if t != baseline else ""
+            lines.append(f"  {g:3d} -> {t}{marker}")
+        return "\n".join(lines)
+
+
+def _mode(values: Sequence[int]) -> int:
+    counts: Dict[int, int] = {}
+    for value in values:
+        counts[value] = counts.get(value, 0) + 1
+    return max(counts, key=counts.get)

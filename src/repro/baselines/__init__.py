@@ -1,0 +1,12 @@
+"""Baseline analyses the paper compares against (Sec. II)."""
+
+from repro.baselines.ift import TaintReport, propagate_taint, taint_fixpoint
+from repro.baselines.taintprop import TaintPropertyResult, check_taint_property
+
+__all__ = [
+    "TaintPropertyResult",
+    "TaintReport",
+    "check_taint_property",
+    "propagate_taint",
+    "taint_fixpoint",
+]

@@ -1,0 +1,90 @@
+"""Static RTL information-flow tracking (IFT) — the baseline of Sec. II.
+
+A conservative, purely structural taint analysis in the spirit of
+RTLIFT/GLIFT: a register is tainted at cycle ``t+1`` if any tainted
+register appears in the combinational cone of its next-state function at
+cycle ``t``.  This over-approximates real information flow — it ignores
+all gating conditions — which is exactly the baseline's weakness the paper
+discusses: it cannot distinguish the secure design (where the secret
+reaches internal buffers but can never influence architectural state) from
+the vulnerable ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.hdl.analysis import sequential_fanin_map
+from repro.hdl.circuit import Circuit
+from repro.hdl.expr import Reg
+
+
+@dataclass
+class TaintReport:
+    """Result of a k-step taint propagation."""
+
+    per_cycle: List[Set[Reg]]
+    reached_arch: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def k(self) -> int:
+        return len(self.per_cycle) - 1
+
+    def tainted_at(self, cycle: int) -> Set[Reg]:
+        return self.per_cycle[min(cycle, self.k)]
+
+    def first_arch_cycle(self) -> Optional[int]:
+        """Earliest cycle at which any architectural register is tainted."""
+        cycles = sorted(self.reached_arch.values())
+        return cycles[0] if cycles else None
+
+    def flags_leak(self) -> bool:
+        return bool(self.reached_arch)
+
+
+def propagate_taint(
+    circuit: Circuit,
+    sources: Iterable[Reg],
+    k: int,
+    barrier: Iterable[Reg] = (),
+) -> TaintReport:
+    """Propagate taint for ``k`` cycles from ``sources``.
+
+    ``barrier`` registers never become tainted (used to model sanitization
+    or to restrict the analysis to a path, as taint-property approaches
+    require).
+    """
+    fanin = sequential_fanin_map(circuit)
+    blocked = set(barrier)
+    tainted: Set[Reg] = {r for r in sources if r not in blocked}
+    per_cycle: List[Set[Reg]] = [set(tainted)]
+    reached_arch: Dict[str, int] = {
+        r.name: 0 for r in tainted if r.arch
+    }
+    for cycle in range(1, k + 1):
+        new_tainted: Set[Reg] = set(tainted)
+        for reg, deps in fanin.items():
+            if reg in blocked or reg in new_tainted:
+                continue
+            if any(dep in tainted for dep in deps):
+                new_tainted.add(reg)
+        for reg in new_tainted - tainted:
+            if reg.arch and reg.name not in reached_arch:
+                reached_arch[reg.name] = cycle
+        tainted = new_tainted
+        per_cycle.append(set(tainted))
+        if len(tainted) == len(per_cycle[-2]) and tainted == per_cycle[-2]:
+            # Fixpoint: extend the report without recomputation.
+            for _ in range(cycle + 1, k + 1):
+                per_cycle.append(set(tainted))
+            break
+    return TaintReport(per_cycle=per_cycle, reached_arch=reached_arch)
+
+
+def taint_fixpoint(
+    circuit: Circuit, sources: Iterable[Reg], barrier: Iterable[Reg] = ()
+) -> TaintReport:
+    """Propagate until the taint set stops growing."""
+    return propagate_taint(circuit, sources, k=len(circuit.regs) + 1,
+                           barrier=barrier)

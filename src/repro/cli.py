@@ -1,0 +1,145 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``         print design-variant statistics
+``check``        run one UPEC property check
+``methodology``  run the full Fig.-5 iterative flow
+``attack``       run the Orc or Meltdown-style attack on the simulator
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import UpecChecker, UpecMethodology, UpecModel, UpecScenario
+from repro.core.report import format_kv_block, format_table
+from repro.hdl import circuit_stats
+from repro.soc import SocConfig, build_soc
+from repro.soc.config import FORMAL_CONFIG_KWARGS, SIM_CONFIG_KWARGS
+
+VARIANTS = ("secure", "orc", "meltdown", "pmp_bug")
+
+
+def _build(variant: str, geometry: str):
+    kwargs = FORMAL_CONFIG_KWARGS if geometry == "formal" else SIM_CONFIG_KWARGS
+    return build_soc(getattr(SocConfig, variant)(**kwargs))
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("variant", choices=VARIANTS)
+    parser.add_argument(
+        "--geometry", choices=("formal", "sim"), default="formal",
+        help="SoC geometry (default: formal — the small UPEC geometry)",
+    )
+
+
+def cmd_info(args) -> int:
+    soc = _build(args.variant, args.geometry)
+    stats = circuit_stats(soc.circuit)
+    data = {
+        "variant": soc.config.name,
+        "secret location": f"dmem[{soc.secret_eff_addr}]",
+        "secret cache line": soc.secret_line_index,
+        **stats,
+        "bypass (Orc opt.)": soc.config.mem_forward_bypass,
+        "refill cancel on flush": soc.config.refill_cancel_on_flush,
+        "flush waits for mem": soc.config.flush_waits_for_mem,
+        "PMP TOR lock rule": soc.config.pmp_tor_lock,
+    }
+    print(format_kv_block(f"SoC {soc.config.name!r}", data))
+    return 0
+
+
+def cmd_check(args) -> int:
+    soc = _build(args.variant, "formal")
+    scenario = UpecScenario(secret_in_cache=not args.uncached)
+    model = UpecModel(soc, scenario)
+    result = UpecChecker(model).check(
+        k=args.k, conflict_limit=args.conflict_limit
+    )
+    print(f"scenario: {scenario.describe()}")
+    print(result.describe())
+    if result.alert is not None:
+        print(result.alert.render_witness())
+        return 2 if result.alert.is_l_alert else 1
+    return 0
+
+
+def cmd_methodology(args) -> int:
+    soc = _build(args.variant, "formal")
+    scenario = UpecScenario(secret_in_cache=not args.uncached)
+    result = UpecMethodology(soc, scenario).run(k=args.k)
+    print(result.describe())
+    return 0 if result.verdict == "secure_bounded" else 2
+
+
+def cmd_attack(args) -> int:
+    soc = _build(args.variant, "sim")
+    secret = int(args.secret, 0)
+    if args.kind == "orc":
+        from repro.attacks import run_orc_attack
+
+        result = run_orc_attack(soc, secret)
+        print(result.series.render())
+        recovered = result.recovered_index
+        true = result.true_index
+    else:
+        from repro.attacks import run_meltdown_attack
+
+        result = run_meltdown_attack(soc, secret)
+        rows = [[g, t] for g, t in zip(result.series.guesses,
+                                       result.series.cycles)]
+        print(format_table(["probe", "cycles"], rows))
+        recovered = result.recovered_value
+        true = result.true_value
+    if recovered is None:
+        print("no leak observable (flat timing)")
+        return 0
+    print(f"recovered: {recovered} (true: {true})")
+    return 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="UPEC: unique program execution checking (DATE 2019 repro)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="design-variant statistics")
+    _add_common(p_info)
+    p_info.set_defaults(func=cmd_info)
+
+    p_check = sub.add_parser("check", help="one UPEC property check")
+    _add_common(p_check)
+    p_check.add_argument("--k", type=int, default=2)
+    p_check.add_argument("--uncached", action="store_true",
+                         help="scenario: D not in cache")
+    p_check.add_argument("--conflict-limit", type=int, default=None)
+    p_check.set_defaults(func=cmd_check)
+
+    p_meth = sub.add_parser("methodology", help="full Fig.-5 flow")
+    _add_common(p_meth)
+    p_meth.add_argument("--k", type=int, default=2)
+    p_meth.add_argument("--uncached", action="store_true")
+    p_meth.set_defaults(func=cmd_methodology)
+
+    p_att = sub.add_parser("attack", help="simulator-level attack")
+    p_att.add_argument("kind", choices=("orc", "meltdown"))
+    _add_common(p_att)
+    p_att.add_argument("--secret", default="0x6B")
+    p_att.set_defaults(func=cmd_attack)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

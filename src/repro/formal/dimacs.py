@@ -1,0 +1,51 @@
+"""DIMACS CNF reading and writing (interchange / debugging aid)."""
+
+from __future__ import annotations
+
+from typing import List, TextIO, Tuple
+
+from repro.errors import FormalError
+
+
+def write_dimacs(stream: TextIO, nvars: int, clauses: List[List[int]]) -> None:
+    """Write a CNF in DIMACS format."""
+    stream.write(f"p cnf {nvars} {len(clauses)}\n")
+    for clause in clauses:
+        stream.write(" ".join(str(lit) for lit in clause) + " 0\n")
+
+
+def read_dimacs(stream: TextIO) -> Tuple[int, List[List[int]]]:
+    """Parse a DIMACS CNF file; returns (nvars, clauses)."""
+    nvars = 0
+    nclauses = None
+    clauses: List[List[int]] = []
+    current: List[int] = []
+    for raw in stream:
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise FormalError(f"malformed problem line: {line!r}")
+            nvars = int(parts[2])
+            nclauses = int(parts[3])
+            continue
+        for token in line.split():
+            lit = int(token)
+            if lit == 0:
+                clauses.append(current)
+                current = []
+            else:
+                if abs(lit) > nvars:
+                    raise FormalError(
+                        f"literal {lit} exceeds declared variable count {nvars}"
+                    )
+                current.append(lit)
+    if current:
+        raise FormalError("trailing clause without terminating 0")
+    if nclauses is not None and len(clauses) != nclauses:
+        raise FormalError(
+            f"clause count mismatch: header says {nclauses}, found {len(clauses)}"
+        )
+    return nvars, clauses

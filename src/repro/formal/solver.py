@@ -1,0 +1,492 @@
+"""A CDCL SAT solver.
+
+This is the proof engine underneath UPEC's interval property checking.  The
+design follows MiniSat: two-watched-literal propagation, first-UIP conflict
+analysis with clause learning, VSIDS-style activity-based decision heuristics
+with phase saving, Luby restarts and activity-based learnt-clause deletion.
+
+Literals use the DIMACS convention at the API boundary (positive/negative
+non-zero ints); internally literal ``2*v`` is the positive and ``2*v + 1``
+the negative phase of variable ``v``.  Clauses are plain Python lists; watch
+lists and reasons reference clause objects directly (cheap identity-based
+bookkeeping keeps the Python interpreter overhead down — this solver spends
+its life in ``_propagate``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import FormalError
+
+_UNASSIGNED = -1
+
+
+def luby_sequence(n: int) -> List[int]:
+    """First ``n`` elements of the Luby restart sequence (testing helper)."""
+    seq: List[int] = []
+    u, v = 1, 1
+    for _ in range(n):
+        seq.append(v)
+        if (u & -u) == v:
+            u += 1
+            v = 1
+        else:
+            v *= 2
+    return seq
+
+
+class Stats:
+    """Solver statistics, exposed for benchmarking."""
+
+    __slots__ = ("conflicts", "decisions", "propagations", "restarts",
+                 "learnt_deleted")
+
+    def __init__(self) -> None:
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        self.restarts = 0
+        self.learnt_deleted = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class CdclSolver:
+    """Conflict-driven clause-learning SAT solver."""
+
+    def __init__(self) -> None:
+        self.nvars = 0
+        self._clauses: List[List[int]] = []      # problem clauses
+        self._learnts: List[List[int]] = []
+        self._learnt_act: Dict[int, float] = {}  # id(clause) -> activity
+        self._learnt_set: Dict[int, List[int]] = {}
+        self._watches: List[List[List[int]]] = [[], []]  # lit -> clauses
+        self._assign: List[int] = [_UNASSIGNED]
+        self._level: List[int] = [0]
+        self._reason: List[Optional[List[int]]] = [None]
+        self._polarity: List[bool] = [False]
+        self._activity: List[float] = [0.0]
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._cla_inc = 1.0
+        self._cla_decay = 0.999
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._qhead = 0
+        self._order: List[tuple] = []  # max-heap via negated activities
+        self._ok = True
+        self._model: List[int] = []
+        self.stats = Stats()
+
+    # ------------------------------------------------------------------
+    # Problem construction
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        """Allocate a fresh variable; returns its (positive) DIMACS index."""
+        self.nvars += 1
+        self._assign.append(_UNASSIGNED)
+        self._level.append(0)
+        self._reason.append(None)
+        self._polarity.append(False)
+        self._activity.append(0.0)
+        self._watches.append([])
+        self._watches.append([])
+        heapq.heappush(self._order, (0.0, self.nvars))
+        return self.nvars
+
+    def _to_internal(self, lit: int) -> int:
+        var = abs(lit)
+        if var == 0 or var > self.nvars:
+            raise FormalError(f"literal {lit} references an unknown variable")
+        return 2 * var + (1 if lit < 0 else 0)
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        """Add a problem clause (DIMACS literals).
+
+        Returns False if the formula is already trivially unsatisfiable.
+        """
+        if not self._ok:
+            return False
+        # Incremental use: clauses may arrive between solve() calls while
+        # the trail still holds a model.  Unit clauses must be asserted at
+        # level 0 (they are not stored), so drop back first.
+        self._backtrack(0)
+        seen: Dict[int, int] = {}
+        clause: List[int] = []
+        assign = self._assign
+        level = self._level
+        for lit in lits:
+            internal = self._to_internal(lit)
+            var = internal >> 1
+            phase = internal & 1
+            if var in seen:
+                if seen[var] != phase:
+                    return True  # tautology: x | ~x
+                continue
+            seen[var] = phase
+            value = assign[var]
+            if value != _UNASSIGNED and level[var] == 0:
+                if value == (phase ^ 1):
+                    return True  # already satisfied at top level
+                continue  # already falsified at top level
+            clause.append(internal)
+        if not clause:
+            self._ok = False
+            return False
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], None):
+                self._ok = False
+                return False
+            if self._propagate() is not None:
+                self._ok = False
+                return False
+            return True
+        self._clauses.append(clause)
+        self._watches[clause[0] ^ 1].append(clause)
+        self._watches[clause[1] ^ 1].append(clause)
+        return True
+
+    def add_clauses(self, clauses: Iterable[Iterable[int]]) -> bool:
+        ok = True
+        for clause in clauses:
+            ok = self.add_clause(clause) and ok
+        return ok and self._ok
+
+    # ------------------------------------------------------------------
+    # Assignment primitives
+    # ------------------------------------------------------------------
+    def _lit_value(self, lit: int) -> int:
+        """1 true, 0 false, -1 unassigned."""
+        value = self._assign[lit >> 1]
+        if value == _UNASSIGNED:
+            return _UNASSIGNED
+        return value ^ (lit & 1)
+
+    def _enqueue(self, lit: int, reason: Optional[List[int]]) -> bool:
+        var = lit >> 1
+        value = self._assign[var]
+        if value != _UNASSIGNED:
+            return value == ((lit & 1) ^ 1)
+        self._assign[var] = (lit & 1) ^ 1
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._trail.append(lit)
+        return True
+
+    def _propagate(self) -> Optional[List[int]]:
+        """Unit propagation; returns a conflicting clause or None."""
+        trail = self._trail
+        watches = self._watches
+        assign = self._assign
+        level = self._level
+        reason = self._reason
+        trail_lim_len = len  # local binding
+        while self._qhead < len(trail):
+            lit = trail[self._qhead]
+            self._qhead += 1
+            self.stats.propagations += 1
+            watch_list = watches[lit]
+            watches[lit] = keep = []
+            false_lit = lit ^ 1
+            i = 0
+            n = len(watch_list)
+            while i < n:
+                clause = watch_list[i]
+                i += 1
+                if clause[0] == false_lit:
+                    clause[0] = clause[1]
+                    clause[1] = false_lit
+                first = clause[0]
+                fvar = first >> 1
+                fval = assign[fvar]
+                if fval != _UNASSIGNED and (fval ^ (first & 1)) == 1:
+                    keep.append(clause)
+                    continue
+                found = False
+                for k in range(2, len(clause)):
+                    other = clause[k]
+                    value = assign[other >> 1]
+                    if value == _UNASSIGNED or (value ^ (other & 1)) == 1:
+                        clause[1] = other
+                        clause[k] = false_lit
+                        watches[other ^ 1].append(clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                keep.append(clause)
+                if fval == _UNASSIGNED:
+                    assign[fvar] = (first & 1) ^ 1
+                    level[fvar] = len(self._trail_lim)
+                    reason[fvar] = clause
+                    trail.append(first)
+                else:
+                    # Conflict: restore the remaining watches and report.
+                    keep.extend(watch_list[i:])
+                    self._qhead = len(trail)
+                    return clause
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis
+    # ------------------------------------------------------------------
+    def _bump_var(self, var: int) -> None:
+        activity = self._activity
+        activity[var] += self._var_inc
+        if activity[var] > 1e100:
+            for v in range(1, self.nvars + 1):
+                activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+        heapq.heappush(self._order, (-activity[var], var))
+
+    def _bump_clause(self, clause: List[int]) -> None:
+        key = id(clause)
+        if key not in self._learnt_act:
+            return
+        self._learnt_act[key] += self._cla_inc
+        if self._learnt_act[key] > 1e20:
+            for k in self._learnt_act:
+                self._learnt_act[k] *= 1e-20
+            self._cla_inc *= 1e-20
+
+    def _analyze(self, conflict: List[int]) -> tuple:
+        """First-UIP learning; returns (learnt clause, backtrack level)."""
+        learnt: List[int] = [0]  # placeholder for the asserting literal
+        seen = bytearray(self.nvars + 1)
+        counter = 0
+        lit = -1
+        clause: Optional[List[int]] = conflict
+        index = len(self._trail) - 1
+        current_level = len(self._trail_lim)
+        levels = self._level
+        while True:
+            assert clause is not None, "reason missing during conflict analysis"
+            self._bump_clause(clause)
+            for q in (clause if lit == -1 else clause[1:]):
+                var = q >> 1
+                if not seen[var] and levels[var] > 0:
+                    seen[var] = 1
+                    self._bump_var(var)
+                    if levels[var] >= current_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            while not seen[self._trail[index] >> 1]:
+                index -= 1
+            lit = self._trail[index]
+            index -= 1
+            var = lit >> 1
+            seen[var] = 0
+            counter -= 1
+            if counter == 0:
+                break
+            clause = self._reason[var]
+        learnt[0] = lit ^ 1
+        # Conflict-clause minimization: drop literals implied by the rest.
+        if len(learnt) > 1:
+            marked = set(q >> 1 for q in learnt[1:])
+            kept = [learnt[0]]
+            for q in learnt[1:]:
+                reason = self._reason[q >> 1]
+                if reason is None:
+                    kept.append(q)
+                    continue
+                if all(
+                    (r >> 1) in marked or levels[r >> 1] == 0
+                    for r in reason
+                    if (r >> 1) != (q >> 1)
+                ):
+                    continue  # redundant
+                kept.append(q)
+            learnt = kept
+        if len(learnt) == 1:
+            return learnt, 0
+        # Backtrack level = second highest decision level in the clause.
+        max_i = 1
+        for i in range(2, len(learnt)):
+            if levels[learnt[i] >> 1] > levels[learnt[max_i] >> 1]:
+                max_i = i
+        learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+        return learnt, levels[learnt[1] >> 1]
+
+    def _backtrack(self, target_level: int) -> None:
+        if len(self._trail_lim) <= target_level:
+            return
+        bound = self._trail_lim[target_level]
+        assign = self._assign
+        polarity = self._polarity
+        reason = self._reason
+        push = heapq.heappush
+        order = self._order
+        activity = self._activity
+        for lit in reversed(self._trail[bound:]):
+            var = lit >> 1
+            polarity[var] = bool(assign[var])
+            assign[var] = _UNASSIGNED
+            reason[var] = None
+            push(order, (-activity[var], var))
+        del self._trail[bound:]
+        del self._trail_lim[target_level:]
+        self._qhead = len(self._trail)
+
+    def _record_learnt(self, clause: List[int]) -> None:
+        if len(clause) == 1:
+            self._enqueue(clause[0], None)
+            return
+        self._learnts.append(clause)
+        self._learnt_act[id(clause)] = self._cla_inc
+        self._learnt_set[id(clause)] = clause
+        self._watches[clause[0] ^ 1].append(clause)
+        self._watches[clause[1] ^ 1].append(clause)
+        self._enqueue(clause[0], clause)
+
+    def _reduce_db(self) -> None:
+        """Drop the less active half of the learnt clauses."""
+        if not self._learnts:
+            return
+        locked = set()
+        for var in range(1, self.nvars + 1):
+            reason = self._reason[var]
+            if reason is not None and id(reason) in self._learnt_act:
+                locked.add(id(reason))
+        order = sorted(self._learnts, key=lambda c: self._learnt_act[id(c)])
+        drop = set()
+        for clause in order[: len(order) // 2]:
+            if id(clause) not in locked and len(clause) > 2:
+                drop.add(id(clause))
+        if not drop:
+            return
+        self._learnts = [c for c in self._learnts if id(c) not in drop]
+        for key in drop:
+            del self._learnt_act[key]
+            del self._learnt_set[key]
+        self.stats.learnt_deleted += len(drop)
+        for lit in range(2, 2 * self.nvars + 2):
+            self._watches[lit] = [
+                c for c in self._watches[lit] if id(c) not in drop
+            ]
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def _decide(self) -> Optional[int]:
+        order = self._order
+        assign = self._assign
+        activity = self._activity
+        while order:
+            neg_act, var = heapq.heappop(order)
+            if assign[var] == _UNASSIGNED and -neg_act == activity[var]:
+                return 2 * var + (0 if self._polarity[var] else 1)
+        for var in range(1, self.nvars + 1):
+            if assign[var] == _UNASSIGNED:
+                return 2 * var + (0 if self._polarity[var] else 1)
+        return None
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_limit: Optional[int] = None,
+    ) -> Optional[bool]:
+        """Solve the formula.
+
+        Returns True (SAT), False (UNSAT), or None if ``conflict_limit``
+        was exhausted.  On SAT, :meth:`model_value` reads the model.
+        """
+        if not self._ok:
+            return False
+        self._backtrack(0)
+        if self._propagate() is not None:
+            self._ok = False
+            return False
+        internal_assumptions = [self._to_internal(a) for a in assumptions]
+        restart_idx = 0
+        luby = luby_sequence(64)
+        conflicts_until_restart = 100 * luby[0]
+        conflicts_at_start = self.stats.conflicts
+        max_learnts = max(2000, len(self._clauses) // 2)
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                if len(self._trail_lim) == 0:
+                    self._ok = False
+                    return False
+                if (
+                    conflict_limit is not None
+                    and self.stats.conflicts - conflicts_at_start
+                    >= conflict_limit
+                ):
+                    self._backtrack(0)
+                    return None
+                learnt, back_level = self._analyze(conflict)
+                # Backtracking may undo assumption pseudo-decisions; the
+                # main loop re-places them (and detects assumptions that
+                # have become falsified by learnt units).
+                self._backtrack(back_level)
+                self._record_learnt(learnt)
+                self._var_inc /= self._var_decay
+                self._cla_inc /= self._cla_decay
+                conflicts_until_restart -= 1
+                if len(self._learnts) > max_learnts:
+                    self._reduce_db()
+                    max_learnts = int(max_learnts * 1.3)
+                continue
+            if conflicts_until_restart <= 0 and len(self._trail_lim) > len(
+                internal_assumptions
+            ):
+                self.stats.restarts += 1
+                restart_idx += 1
+                if restart_idx >= len(luby):
+                    luby = luby_sequence(2 * len(luby))
+                conflicts_until_restart = 100 * luby[restart_idx]
+                self._backtrack(
+                    min(len(internal_assumptions), len(self._trail_lim))
+                )
+                continue
+            # Place assumptions as pseudo-decisions.
+            placed_all = True
+            for i, lit in enumerate(internal_assumptions):
+                if len(self._trail_lim) > i:
+                    continue
+                value = self._lit_value(lit)
+                if value == 0:
+                    return False  # assumption falsified by the formula
+                self._trail_lim.append(len(self._trail))
+                if value == _UNASSIGNED:
+                    self._enqueue(lit, None)
+                placed_all = False
+                break
+            if not placed_all:
+                continue
+            decision = self._decide()
+            if decision is None:
+                self._model = list(self._assign)
+                return True
+            self.stats.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(decision, None)
+
+    # ------------------------------------------------------------------
+    # Model access
+    # ------------------------------------------------------------------
+    def model_value(self, lit: int) -> bool:
+        """Value of a DIMACS literal in the last model."""
+        if not self._model:
+            raise FormalError("no model available (last solve was not SAT)")
+        var = abs(lit)
+        if var > self.nvars:
+            raise FormalError(f"unknown variable {var}")
+        value = self._model[var]
+        if value == _UNASSIGNED:
+            value = 0  # don't-care variables default to false
+        return bool(value) if lit > 0 else not bool(value)
+
+    def model(self) -> List[bool]:
+        """The last model as a list indexed by variable (index 0 unused)."""
+        return [False] + [self.model_value(v) for v in range(1, self.nvars + 1)]

@@ -1,0 +1,142 @@
+"""Circuits: named collections of inputs, registers and outputs.
+
+A :class:`Circuit` is a synchronous design with a single implicit clock.
+Because expressions can only reference already-constructed nodes (plus
+register leaves), combinational cycles are impossible by construction.
+
+Registers default to *hold* behaviour: a register without an explicit next
+expression keeps its value.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import HdlError, WidthError
+from repro.hdl.expr import Expr, Input, Reg, const
+
+
+class Circuit:
+    """A synchronous word-level circuit."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.inputs: Dict[str, Input] = {}
+        self.regs: Dict[str, Reg] = {}
+        self.outputs: Dict[str, Expr] = {}
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._finalized:
+            raise HdlError(f"circuit {self.name!r} is finalized")
+
+    def _check_name(self, name: str) -> None:
+        if name in self.inputs or name in self.regs:
+            raise HdlError(f"duplicate signal name {name!r} in {self.name!r}")
+
+    def input(self, name: str, width: int) -> Input:
+        """Declare a free input."""
+        self._check_open()
+        self._check_name(name)
+        node = Input(name, width)
+        self.inputs[name] = node
+        return node
+
+    def reg(
+        self,
+        name: str,
+        width: int,
+        init: Optional[int] = 0,
+        arch: bool = False,
+        tags: Iterable[str] = (),
+    ) -> Reg:
+        """Declare a register.  ``init=None`` means symbolic initial value."""
+        self._check_open()
+        self._check_name(name)
+        node = Reg(name, width, init=init, arch=arch, tags=tags)
+        self.regs[name] = node
+        return node
+
+    def next(self, reg: Reg, expr: "Expr | int") -> None:
+        """Assign the next-state expression of a register (once)."""
+        self._check_open()
+        if self.regs.get(reg.name) is not reg:
+            raise HdlError(f"register {reg.name!r} does not belong to {self.name!r}")
+        if reg.next is not None:
+            raise HdlError(f"register {reg.name!r} already has a next expression")
+        if isinstance(expr, int):
+            expr = const(expr, reg.width)
+        if expr.width != reg.width:
+            raise WidthError(
+                f"next of {reg.name!r}: width {expr.width} != reg width {reg.width}"
+            )
+        reg.next = expr
+
+    def output(self, name: str, expr: Expr) -> Expr:
+        """Expose an expression as a named output."""
+        self._check_open()
+        if name in self.outputs:
+            raise HdlError(f"duplicate output name {name!r} in {self.name!r}")
+        if not isinstance(expr, Expr):
+            raise HdlError("output must be an Expr")
+        self.outputs[name] = expr
+        return expr
+
+    def finalize(self) -> "Circuit":
+        """Close the circuit: default missing next-exprs to hold, validate."""
+        if self._finalized:
+            return self
+        for reg in self.regs.values():
+            if reg.next is None:
+                reg.next = reg
+        self._validate()
+        self._finalized = True
+        return self
+
+    # ------------------------------------------------------------------
+    # Validation & queries
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        from repro.hdl.analysis import iter_nodes
+
+        roots: List[Expr] = [r.next for r in self.regs.values() if r.next is not None]
+        roots.extend(self.outputs.values())
+        for node in iter_nodes(roots):
+            if isinstance(node, Input) and self.inputs.get(node.name) is not node:
+                raise HdlError(
+                    f"foreign input {node.name!r} referenced in circuit {self.name!r}"
+                )
+            if isinstance(node, Reg) and self.regs.get(node.name) is not node:
+                raise HdlError(
+                    f"foreign register {node.name!r} referenced in circuit {self.name!r}"
+                )
+
+    @property
+    def finalized(self) -> bool:
+        return self._finalized
+
+    def arch_regs(self) -> List[Reg]:
+        """Architectural state variables (Def. 2)."""
+        return [r for r in self.regs.values() if r.arch]
+
+    def regs_with_tag(self, tag: str) -> List[Reg]:
+        return [r for r in self.regs.values() if tag in r.tags]
+
+    def logic_regs(self) -> List[Reg]:
+        """Microarchitectural state variables (Def. 1): everything that is
+        not memory content."""
+        return [r for r in self.regs.values() if "memory" not in r.tags]
+
+    def state_bits(self) -> int:
+        """Total number of state bits."""
+        return sum(r.width for r in self.regs.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Circuit {self.name!r}: {len(self.inputs)} inputs, "
+            f"{len(self.regs)} regs ({self.state_bits()} bits), "
+            f"{len(self.outputs)} outputs>"
+        )

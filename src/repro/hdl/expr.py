@@ -1,0 +1,431 @@
+"""Word-level expression IR for the mini-HDL.
+
+Expressions form an immutable DAG.  Leaves are constants, module inputs and
+registers; interior nodes are the usual word-level RTL operators.  Widths are
+checked strictly at construction time so that malformed hardware is rejected
+as early as possible.
+
+Bit ordering convention: bit 0 is the least significant bit.  ``x[i]``
+extracts a single bit, ``x[lo:hi]`` extracts bits ``lo .. hi-1`` (a Python
+range over bit indices, LSB first).  ``cat(a, b, c)`` concatenates with ``a``
+in the least significant position.
+
+Python's ``==`` is kept as object identity (expressions are DAG nodes used as
+dictionary keys); use :meth:`Expr.eq` / :meth:`Expr.ne` to build comparison
+hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.errors import HdlError, WidthError
+
+# Operator mnemonics.  Kept as plain strings for cheap dispatch in the
+# simulator and bit-blaster.
+OP_CONST = "const"
+OP_INPUT = "input"
+OP_REG = "reg"
+OP_NOT = "not"
+OP_AND = "and"
+OP_OR = "or"
+OP_XOR = "xor"
+OP_ADD = "add"
+OP_SUB = "sub"
+OP_EQ = "eq"
+OP_NE = "ne"
+OP_ULT = "ult"
+OP_ULE = "ule"
+OP_MUX = "mux"
+OP_CAT = "cat"
+OP_SLICE = "slice"
+OP_SHL = "shl"
+OP_LSHR = "lshr"
+OP_REDOR = "redor"
+OP_REDAND = "redand"
+
+_BINARY_SAME_WIDTH = frozenset({OP_AND, OP_OR, OP_XOR, OP_ADD, OP_SUB})
+_COMPARE = frozenset({OP_EQ, OP_NE, OP_ULT, OP_ULE})
+
+
+def mask(width: int) -> int:
+    """Return the all-ones value of the given bit width."""
+    return (1 << width) - 1
+
+
+class Expr:
+    """A node of the word-level expression DAG.
+
+    Instances are immutable after construction.  ``args`` holds child
+    expressions, ``params`` holds non-expression attributes (constant value,
+    slice bounds, shift amounts, names).
+    """
+
+    __slots__ = ("op", "args", "params", "width")
+
+    def __init__(
+        self,
+        op: str,
+        args: Sequence["Expr"] = (),
+        params: Tuple = (),
+        width: int = 1,
+    ) -> None:
+        if width <= 0:
+            raise WidthError(f"expression width must be positive, got {width}")
+        self.op = op
+        self.args = tuple(args)
+        self.params = tuple(params)
+        self.width = width
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _coerce(self, other: "Expr | int") -> "Expr":
+        """Turn a Python int into a constant of this expression's width."""
+        if isinstance(other, Expr):
+            return other
+        if isinstance(other, bool):
+            other = int(other)
+        if isinstance(other, int):
+            return const(other, self.width)
+        raise HdlError(f"cannot use {other!r} as an expression")
+
+    def _binary(self, op: str, other: "Expr | int") -> "Expr":
+        rhs = self._coerce(other)
+        if rhs.width != self.width:
+            raise WidthError(
+                f"{op}: operand widths differ ({self.width} vs {rhs.width})"
+            )
+        return Expr(op, (self, rhs), width=self.width)
+
+    def _compare(self, op: str, other: "Expr | int") -> "Expr":
+        rhs = self._coerce(other)
+        if rhs.width != self.width:
+            raise WidthError(
+                f"{op}: operand widths differ ({self.width} vs {rhs.width})"
+            )
+        return Expr(op, (self, rhs), width=1)
+
+    # Arithmetic / bitwise operators --------------------------------------
+    def __add__(self, other: "Expr | int") -> "Expr":
+        return self._binary(OP_ADD, other)
+
+    def __radd__(self, other: int) -> "Expr":
+        return self._coerce(other)._binary(OP_ADD, self)
+
+    def __sub__(self, other: "Expr | int") -> "Expr":
+        return self._binary(OP_SUB, other)
+
+    def __rsub__(self, other: int) -> "Expr":
+        return self._coerce(other)._binary(OP_SUB, self)
+
+    def __and__(self, other: "Expr | int") -> "Expr":
+        return self._binary(OP_AND, other)
+
+    def __rand__(self, other: int) -> "Expr":
+        return self._coerce(other)._binary(OP_AND, self)
+
+    def __or__(self, other: "Expr | int") -> "Expr":
+        return self._binary(OP_OR, other)
+
+    def __ror__(self, other: int) -> "Expr":
+        return self._coerce(other)._binary(OP_OR, self)
+
+    def __xor__(self, other: "Expr | int") -> "Expr":
+        return self._binary(OP_XOR, other)
+
+    def __rxor__(self, other: int) -> "Expr":
+        return self._coerce(other)._binary(OP_XOR, self)
+
+    def __invert__(self) -> "Expr":
+        return Expr(OP_NOT, (self,), width=self.width)
+
+    def __lshift__(self, amount: int) -> "Expr":
+        if not isinstance(amount, int) or amount < 0:
+            raise HdlError("shift amount must be a non-negative constant")
+        return Expr(OP_SHL, (self,), params=(amount,), width=self.width)
+
+    def __rshift__(self, amount: int) -> "Expr":
+        if not isinstance(amount, int) or amount < 0:
+            raise HdlError("shift amount must be a non-negative constant")
+        return Expr(OP_LSHR, (self,), params=(amount,), width=self.width)
+
+    # Comparisons (as methods; __eq__ stays identity) ----------------------
+    def eq(self, other: "Expr | int") -> "Expr":
+        """Hardware equality: 1-bit result."""
+        return self._compare(OP_EQ, other)
+
+    def ne(self, other: "Expr | int") -> "Expr":
+        """Hardware inequality: 1-bit result."""
+        return self._compare(OP_NE, other)
+
+    def ult(self, other: "Expr | int") -> "Expr":
+        """Unsigned less-than: 1-bit result."""
+        return self._compare(OP_ULT, other)
+
+    def ule(self, other: "Expr | int") -> "Expr":
+        """Unsigned less-or-equal: 1-bit result."""
+        return self._compare(OP_ULE, other)
+
+    def ugt(self, other: "Expr | int") -> "Expr":
+        """Unsigned greater-than: 1-bit result."""
+        return self._coerce(other)._compare(OP_ULT, self)
+
+    def uge(self, other: "Expr | int") -> "Expr":
+        """Unsigned greater-or-equal: 1-bit result."""
+        return self._coerce(other)._compare(OP_ULE, self)
+
+    # Bit selection --------------------------------------------------------
+    def __getitem__(self, index: "int | slice") -> "Expr":
+        if isinstance(index, int):
+            if index < 0:
+                index += self.width
+            if not 0 <= index < self.width:
+                raise WidthError(
+                    f"bit index {index} out of range for width {self.width}"
+                )
+            return Expr(OP_SLICE, (self,), params=(index, index + 1), width=1)
+        if isinstance(index, slice):
+            if index.step is not None:
+                raise HdlError("strided bit slices are not supported")
+            lo = 0 if index.start is None else index.start
+            hi = self.width if index.stop is None else index.stop
+            if lo < 0:
+                lo += self.width
+            if hi < 0:
+                hi += self.width
+            if not (0 <= lo < hi <= self.width):
+                raise WidthError(
+                    f"slice [{lo}:{hi}] out of range for width {self.width}"
+                )
+            return Expr(OP_SLICE, (self,), params=(lo, hi), width=hi - lo)
+        raise HdlError(f"invalid bit index {index!r}")
+
+    # Reductions -----------------------------------------------------------
+    def any(self) -> "Expr":
+        """Reduction OR: 1 iff any bit is set."""
+        return Expr(OP_REDOR, (self,), width=1)
+
+    def all(self) -> "Expr":
+        """Reduction AND: 1 iff all bits are set."""
+        return Expr(OP_REDAND, (self,), width=1)
+
+    def bool(self) -> "Expr":
+        """Alias of :meth:`any` — nonzero test."""
+        return self.any()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def is_const(self) -> bool:
+        return self.op == OP_CONST
+
+    @property
+    def value(self) -> int:
+        """Constant value (only valid for constant expressions)."""
+        if self.op != OP_CONST:
+            raise HdlError("value is only defined for constants")
+        return self.params[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        from repro.hdl.pretty import format_expr
+
+        return f"<Expr {format_expr(self, max_depth=3)} :{self.width}>"
+
+
+class Input(Expr):
+    """A free input of a circuit."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, width: int) -> None:
+        super().__init__(OP_INPUT, params=(name,), width=width)
+        self.name = name
+
+
+class Reg(Expr):
+    """A state-holding register.
+
+    ``init`` is the reset value, or ``None`` for a register whose initial
+    value is symbolic (unconstrained) — the essential ingredient of interval
+    property checking with a symbolic initial state.
+
+    ``arch`` marks architectural state variables (Def. 2 of the paper);
+    ``tags`` carries free-form labels such as ``"memory"`` (content of main
+    memory, excluded from *micro_soc_state*) or ``"cache_data"``.
+    """
+
+    __slots__ = ("name", "init", "arch", "tags", "next")
+
+    def __init__(
+        self,
+        name: str,
+        width: int,
+        init: Optional[int] = 0,
+        arch: bool = False,
+        tags: Iterable[str] = (),
+    ) -> None:
+        super().__init__(OP_REG, params=(name,), width=width)
+        if init is not None:
+            if not isinstance(init, int):
+                raise HdlError(f"register init must be int or None, got {init!r}")
+            if not 0 <= init <= mask(width):
+                raise WidthError(
+                    f"init {init} does not fit in {width} bits for reg {name!r}"
+                )
+        self.name = name
+        self.init = init
+        self.arch = arch
+        self.tags = frozenset(tags)
+        self.next: Optional[Expr] = None
+
+
+# ----------------------------------------------------------------------
+# Free functions
+# ----------------------------------------------------------------------
+def const(value: int, width: int) -> Expr:
+    """Build a constant of the given width; the value must fit."""
+    if isinstance(value, bool):
+        value = int(value)
+    if not isinstance(value, int):
+        raise HdlError(f"constant value must be int, got {value!r}")
+    if value < 0:
+        value &= mask(width)
+    if value > mask(width):
+        raise WidthError(f"constant {value} does not fit in {width} bits")
+    return Expr(OP_CONST, params=(value,), width=width)
+
+
+def mux(sel: Expr, if_true: "Expr | int", if_false: "Expr | int") -> Expr:
+    """2-way multiplexer: ``sel ? if_true : if_false`` (sel is 1 bit)."""
+    if sel.width != 1:
+        raise WidthError(f"mux select must be 1 bit, got {sel.width}")
+    if isinstance(if_true, int) and isinstance(if_false, int):
+        raise HdlError("mux needs at least one Expr arm to infer the width")
+    if isinstance(if_true, int):
+        if_true = const(if_true, if_false.width)
+    if isinstance(if_false, int):
+        if_false = const(if_false, if_true.width)
+    if if_true.width != if_false.width:
+        raise WidthError(
+            f"mux arm widths differ ({if_true.width} vs {if_false.width})"
+        )
+    return Expr(OP_MUX, (sel, if_true, if_false), width=if_true.width)
+
+
+def cat(*parts: Expr) -> Expr:
+    """Concatenate, first argument in the least significant position."""
+    if not parts:
+        raise HdlError("cat needs at least one operand")
+    if len(parts) == 1:
+        return parts[0]
+    width = sum(p.width for p in parts)
+    return Expr(OP_CAT, parts, width=width)
+
+
+def repl(bit: Expr, count: int) -> Expr:
+    """Replicate a 1-bit expression ``count`` times."""
+    if bit.width != 1:
+        raise WidthError("repl expects a 1-bit expression")
+    if count <= 0:
+        raise HdlError("repl count must be positive")
+    return cat(*([bit] * count))
+
+
+def zext(x: Expr, width: int) -> Expr:
+    """Zero-extend ``x`` to ``width`` bits."""
+    if width < x.width:
+        raise WidthError(f"cannot zero-extend width {x.width} down to {width}")
+    if width == x.width:
+        return x
+    return cat(x, const(0, width - x.width))
+
+
+def sext(x: Expr, width: int) -> Expr:
+    """Sign-extend ``x`` to ``width`` bits."""
+    if width < x.width:
+        raise WidthError(f"cannot sign-extend width {x.width} down to {width}")
+    if width == x.width:
+        return x
+    return cat(x, repl(x[x.width - 1], width - x.width))
+
+
+def truncate(x: Expr, width: int) -> Expr:
+    """Keep the low ``width`` bits of ``x``."""
+    if width > x.width:
+        raise WidthError(f"cannot truncate width {x.width} up to {width}")
+    if width == x.width:
+        return x
+    return x[0:width]
+
+
+def resize(x: Expr, width: int) -> Expr:
+    """Zero-extend or truncate ``x`` to exactly ``width`` bits."""
+    if width == x.width:
+        return x
+    if width > x.width:
+        return zext(x, width)
+    return truncate(x, width)
+
+
+def and_all(terms: Sequence[Expr]) -> Expr:
+    """Conjunction of 1-bit terms (1 for the empty sequence)."""
+    result: Optional[Expr] = None
+    for term in terms:
+        if term.width != 1:
+            raise WidthError("and_all expects 1-bit terms")
+        result = term if result is None else result & term
+    return result if result is not None else const(1, 1)
+
+
+def or_all(terms: Sequence[Expr]) -> Expr:
+    """Disjunction of 1-bit terms (0 for the empty sequence)."""
+    result: Optional[Expr] = None
+    for term in terms:
+        if term.width != 1:
+            raise WidthError("or_all expects 1-bit terms")
+        result = term if result is None else result | term
+    return result if result is not None else const(0, 1)
+
+
+def implies(antecedent: Expr, consequent: Expr) -> Expr:
+    """Logical implication over 1-bit expressions."""
+    if antecedent.width != 1 or consequent.width != 1:
+        raise WidthError("implies expects 1-bit expressions")
+    return ~antecedent | consequent
+
+
+def select(index: Expr, choices: Sequence["Expr | int"], width: Optional[int] = None) -> Expr:
+    """Index into a list of choices with a mux tree.
+
+    ``choices[i]`` is returned when ``index == i``.  Out-of-range index
+    values return the last choice.  All choices must share one width (ints
+    are coerced once a width is known).
+    """
+    if not choices:
+        raise HdlError("select needs at least one choice")
+    if width is None:
+        widths = {c.width for c in choices if isinstance(c, Expr)}
+        if len(widths) != 1:
+            raise HdlError("select cannot infer a unique width; pass width=")
+        width = widths.pop()
+    exprs = [c if isinstance(c, Expr) else const(c, width) for c in choices]
+    for e in exprs:
+        if e.width != width:
+            raise WidthError("select choices must share one width")
+
+    def build(lo: int, hi: int, bit: int) -> Expr:
+        if hi - lo == 1 or bit < 0:
+            return exprs[lo]
+        mid = min(lo + (1 << bit), hi)
+        low_part = build(lo, mid, bit - 1)
+        if mid >= hi:
+            return low_part
+        high_part = build(mid, hi, bit - 1)
+        return mux(index[bit], high_part, low_part)
+
+    top_bit = index.width - 1
+    # Choices beyond 2**index.width can never be selected.
+    usable = min(len(exprs), 1 << index.width)
+    return build(0, usable, top_bit)

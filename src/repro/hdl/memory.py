@@ -1,0 +1,92 @@
+"""Register-file / memory arrays built from registers.
+
+A :class:`MemoryArray` is a convenience wrapper that declares one register
+per word, provides a combinational read port (mux tree) and a single
+synchronous write port.  Small arrays only — every word is an individual
+register, which is exactly what the formal engine wants (memory words can be
+tagged, shared between miter instances, or excluded from commitments
+individually).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.errors import HdlError, WidthError
+from repro.hdl.circuit import Circuit
+from repro.hdl.expr import Expr, Reg, const, mux, select
+
+
+class MemoryArray:
+    """An array of ``depth`` words of ``width`` bits inside a circuit."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        name: str,
+        depth: int,
+        width: int,
+        init: "Optional[int] | Sequence[Optional[int]]" = 0,
+        arch: bool = False,
+        tags: Iterable[str] = (),
+    ) -> None:
+        if depth <= 0:
+            raise HdlError("memory depth must be positive")
+        self.circuit = circuit
+        self.name = name
+        self.depth = depth
+        self.width = width
+        if init is None or isinstance(init, int):
+            inits: List[Optional[int]] = [init] * depth
+        else:
+            inits = list(init)
+            if len(inits) != depth:
+                raise HdlError(
+                    f"memory {name!r}: {len(inits)} init values for depth {depth}"
+                )
+        self.words: List[Reg] = [
+            circuit.reg(f"{name}[{i}]", width, init=inits[i], arch=arch, tags=tags)
+            for i in range(depth)
+        ]
+        self._written = False
+
+    # ------------------------------------------------------------------
+    def addr_width(self) -> int:
+        """Number of address bits needed to index every word."""
+        return max(1, (self.depth - 1).bit_length())
+
+    def read(self, addr: Expr) -> Expr:
+        """Combinational read of the current cycle's contents."""
+        if addr.width < self.addr_width():
+            raise WidthError(
+                f"memory {self.name!r}: address width {addr.width} too narrow "
+                f"for depth {self.depth}"
+            )
+        return select(addr, list(self.words), width=self.width)
+
+    def write(self, addr: Expr, data: "Expr | int", enable: Expr) -> None:
+        """Synchronous write port (at most one per memory).
+
+        When ``enable`` is high, word ``addr`` is updated with ``data``;
+        all other words hold.
+        """
+        if self._written:
+            raise HdlError(f"memory {self.name!r} already has a write port")
+        if enable.width != 1:
+            raise WidthError("write enable must be 1 bit")
+        if isinstance(data, int):
+            data = const(data, self.width)
+        if data.width != self.width:
+            raise WidthError(
+                f"memory {self.name!r}: write data width {data.width} != {self.width}"
+            )
+        for i, word in enumerate(self.words):
+            hit = enable & addr.eq(const(i, addr.width))
+            self.circuit.next(word, mux(hit, data, word))
+        self._written = True
+
+    def __len__(self) -> int:
+        return self.depth
+
+    def __getitem__(self, index: int) -> Reg:
+        return self.words[index]

@@ -1,0 +1,65 @@
+"""Human-readable rendering of expressions (debugging & counterexamples)."""
+
+from __future__ import annotations
+
+from repro.hdl.expr import (
+    OP_CAT,
+    OP_CONST,
+    OP_INPUT,
+    OP_MUX,
+    OP_NOT,
+    OP_REG,
+    OP_SLICE,
+    Expr,
+)
+
+_INFIX = {
+    "and": "&",
+    "or": "|",
+    "xor": "^",
+    "add": "+",
+    "sub": "-",
+    "eq": "==",
+    "ne": "!=",
+    "ult": "<",
+    "ule": "<=",
+}
+
+
+def format_expr(expr: Expr, max_depth: int = 8) -> str:
+    """Render an expression as a compact infix string."""
+    if max_depth < 0:
+        return "…"
+    op = expr.op
+    if op == OP_CONST:
+        return f"{expr.params[0]:#x}" if expr.width > 4 else str(expr.params[0])
+    if op in (OP_INPUT, OP_REG):
+        return expr.params[0]
+    if op == OP_NOT:
+        return f"~{format_expr(expr.args[0], max_depth - 1)}"
+    if op in _INFIX:
+        a = format_expr(expr.args[0], max_depth - 1)
+        b = format_expr(expr.args[1], max_depth - 1)
+        return f"({a} {_INFIX[op]} {b})"
+    if op == OP_MUX:
+        s = format_expr(expr.args[0], max_depth - 1)
+        a = format_expr(expr.args[1], max_depth - 1)
+        b = format_expr(expr.args[2], max_depth - 1)
+        return f"({s} ? {a} : {b})"
+    if op == OP_SLICE:
+        lo, hi = expr.params
+        inner = format_expr(expr.args[0], max_depth - 1)
+        if hi - lo == 1:
+            return f"{inner}[{lo}]"
+        return f"{inner}[{lo}:{hi}]"
+    if op == OP_CAT:
+        parts = ", ".join(format_expr(a, max_depth - 1) for a in expr.args)
+        return f"cat({parts})"
+    if op in ("shl", "lshr"):
+        sym = "<<" if op == "shl" else ">>"
+        return f"({format_expr(expr.args[0], max_depth - 1)} {sym} {expr.params[0]})"
+    if op in ("redor", "redand"):
+        fn = "|" if op == "redor" else "&"
+        return f"({fn}{format_expr(expr.args[0], max_depth - 1)})"
+    parts = ", ".join(format_expr(a, max_depth - 1) for a in expr.args)
+    return f"{op}({parts})"

@@ -1,0 +1,208 @@
+"""Verilog export: emit a synthesizable module for a circuit.
+
+The exporter produces plain synchronous Verilog-2001 — one ``always @``
+block for the registers, continuous assignments for the combinational
+DAG — so a design built with the mini-HDL (e.g. a SoC variant with an
+injected vulnerability) can be handed to standard EDA flows, waveform
+viewers or a commercial property checker for cross-validation.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, TextIO
+
+from repro.errors import HdlError
+from repro.hdl.analysis import circuit_roots, topo_order
+from repro.hdl.circuit import Circuit
+from repro.hdl.expr import (
+    OP_ADD,
+    OP_AND,
+    OP_CAT,
+    OP_CONST,
+    OP_EQ,
+    OP_INPUT,
+    OP_LSHR,
+    OP_MUX,
+    OP_NE,
+    OP_NOT,
+    OP_OR,
+    OP_REDAND,
+    OP_REDOR,
+    OP_REG,
+    OP_SHL,
+    OP_SLICE,
+    OP_SUB,
+    OP_ULE,
+    OP_ULT,
+    OP_XOR,
+    Expr,
+)
+
+_BINOPS = {
+    OP_AND: "&", OP_OR: "|", OP_XOR: "^",
+    OP_ADD: "+", OP_SUB: "-",
+    OP_EQ: "==", OP_NE: "!=", OP_ULT: "<", OP_ULE: "<=",
+}
+
+_IDENT_RE = re.compile(r"[^A-Za-z0-9_]")
+
+
+def _sanitize(name: str) -> str:
+    """Make a legal Verilog identifier (memories: ``mem[3]`` -> ``mem_3``)."""
+    clean = _IDENT_RE.sub("_", name).strip("_")
+    if not clean or clean[0].isdigit():
+        clean = "s_" + clean
+    return clean
+
+
+class VerilogWriter:
+    """Emit one circuit as one Verilog module."""
+
+    def __init__(self, circuit: Circuit) -> None:
+        if not circuit.finalized:
+            circuit.finalize()
+        self.circuit = circuit
+        self._names: Dict[int, str] = {}
+        self._wire_decls: List[str] = []
+        self._assigns: List[str] = []
+        self._counter = 0
+        self._used_names = set()
+
+    # ------------------------------------------------------------------
+    def _fresh(self, hint: str, width: int) -> str:
+        name = f"w_{hint}_{self._counter}"
+        self._counter += 1
+        self._wire_decls.append(self._decl("wire", name, width))
+        return name
+
+    @staticmethod
+    def _decl(kind: str, name: str, width: int) -> str:
+        if width == 1:
+            return f"{kind} {name};"
+        return f"{kind} [{width - 1}:0] {name};"
+
+    def _unique(self, name: str) -> str:
+        base = name
+        suffix = 0
+        while name in self._used_names:
+            suffix += 1
+            name = f"{base}_{suffix}"
+        self._used_names.add(name)
+        return name
+
+    # ------------------------------------------------------------------
+    def _emit_expr(self, node: Expr) -> str:
+        op = node.op
+        if op == OP_CONST:
+            return f"{node.width}'d{node.params[0]}"
+        if op in (OP_REG, OP_INPUT):
+            return self._names[id(node)]
+        args = [self._names[id(a)] for a in node.args]
+        if op == OP_NOT:
+            return f"~{args[0]}"
+        if op in _BINOPS:
+            return f"{args[0]} {_BINOPS[op]} {args[1]}"
+        if op == OP_MUX:
+            return f"{args[0]} ? {args[1]} : {args[2]}"
+        if op == OP_CAT:
+            # Verilog concatenation is MSB-first; our cat() is LSB-first.
+            return "{" + ", ".join(reversed(args)) + "}"
+        if op == OP_SLICE:
+            lo, hi = node.params
+            if hi - lo == node.args[0].width:
+                return args[0]
+            if hi - lo == 1:
+                return f"{args[0]}[{lo}]"
+            return f"{args[0]}[{hi - 1}:{lo}]"
+        if op == OP_SHL:
+            return f"{args[0]} << {node.params[0]}"
+        if op == OP_LSHR:
+            return f"{args[0]} >> {node.params[0]}"
+        if op == OP_REDOR:
+            return f"|{args[0]}"
+        if op == OP_REDAND:
+            return f"&{args[0]}"
+        raise HdlError(f"cannot export operator {op!r} to Verilog")
+
+    def _walk(self, roots: List[Expr]) -> None:
+        for node in topo_order(roots):
+            key = id(node)
+            if key in self._names:
+                continue
+            if node.op == OP_REG:
+                self._names[key] = self._unique(_sanitize(node.params[0]))
+                continue
+            if node.op == OP_INPUT:
+                self._names[key] = self._unique(_sanitize(node.params[0]))
+                continue
+            if node.op == OP_CONST:
+                self._names[key] = self._emit_expr(node)
+                continue
+            name = self._fresh(node.op, node.width)
+            self._assigns.append(f"assign {name} = {self._emit_expr(node)};")
+            self._names[key] = name
+
+    # ------------------------------------------------------------------
+    def write(self, stream: TextIO) -> None:
+        circuit = self.circuit
+        # Pre-name registers and inputs so ports/decls come out stable.
+        for node in circuit.inputs.values():
+            self._names[id(node)] = self._unique(_sanitize(node.name))
+        for reg in circuit.regs.values():
+            self._names[id(reg)] = self._unique(_sanitize(reg.name))
+        roots = circuit_roots(circuit)
+        self._walk(roots)
+
+        ports = ["clk", "rst"]
+        ports += [self._names[id(n)] for n in circuit.inputs.values()]
+        out_ports = {}
+        for name, expr in circuit.outputs.items():
+            port = self._unique(_sanitize(name))
+            out_ports[port] = expr
+            ports.append(port)
+
+        stream.write(f"module {_sanitize(circuit.name)} (\n")
+        stream.write(",\n".join(f"    {p}" for p in ports))
+        stream.write("\n);\n\n")
+        stream.write("input clk;\ninput rst;\n")
+        for node in circuit.inputs.values():
+            stream.write(
+                "input " + self._decl("", self._names[id(node)],
+                                      node.width).strip() + "\n"
+            )
+        for port, expr in out_ports.items():
+            stream.write(
+                "output " + self._decl("", port, expr.width).strip() + "\n"
+            )
+        stream.write("\n// registers\n")
+        for reg in circuit.regs.values():
+            stream.write(self._decl("reg", self._names[id(reg)], reg.width)
+                         + "\n")
+        stream.write("\n// combinational network\n")
+        for decl in self._wire_decls:
+            stream.write(decl + "\n")
+        for assign in self._assigns:
+            stream.write(assign + "\n")
+        stream.write("\n// outputs\n")
+        for port, expr in out_ports.items():
+            stream.write(f"assign {port} = {self._names[id(expr)]};\n")
+        stream.write("\n// state\nalways @(posedge clk) begin\n")
+        stream.write("    if (rst) begin\n")
+        for reg in circuit.regs.values():
+            init = reg.init if reg.init is not None else 0
+            stream.write(
+                f"        {self._names[id(reg)]} <= {reg.width}'d{init};\n"
+            )
+        stream.write("    end else begin\n")
+        for reg in circuit.regs.values():
+            stream.write(
+                f"        {self._names[id(reg)]} <= "
+                f"{self._names[id(reg.next)]};\n"
+            )
+        stream.write("    end\nend\n\nendmodule\n")
+
+
+def write_verilog(circuit: Circuit, stream: TextIO) -> None:
+    """Convenience wrapper: export ``circuit`` as a Verilog module."""
+    VerilogWriter(circuit).write(stream)

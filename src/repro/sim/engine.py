@@ -1,0 +1,242 @@
+"""Cycle-accurate two-value simulator for circuits.
+
+The simulator evaluates the combinational DAG once per cycle in topological
+order, then commits all register next-values simultaneously — standard
+synchronous semantics.  Values are Python ints masked to their width.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.hdl.analysis import circuit_roots, topo_order
+from repro.hdl.circuit import Circuit
+from repro.hdl.expr import (
+    OP_ADD,
+    OP_AND,
+    OP_CAT,
+    OP_CONST,
+    OP_EQ,
+    OP_INPUT,
+    OP_LSHR,
+    OP_MUX,
+    OP_NE,
+    OP_NOT,
+    OP_OR,
+    OP_REDAND,
+    OP_REDOR,
+    OP_REG,
+    OP_SHL,
+    OP_SLICE,
+    OP_SUB,
+    OP_ULE,
+    OP_ULT,
+    OP_XOR,
+    Expr,
+    Reg,
+    mask,
+)
+
+
+def _eval_node(op: str, node: Expr, values: Dict[int, int]) -> int:
+    """Evaluate one interior node given its children's values."""
+    args = node.args
+    w = node.width
+    if op == OP_NOT:
+        return values[id(args[0])] ^ mask(w)
+    if op == OP_AND:
+        return values[id(args[0])] & values[id(args[1])]
+    if op == OP_OR:
+        return values[id(args[0])] | values[id(args[1])]
+    if op == OP_XOR:
+        return values[id(args[0])] ^ values[id(args[1])]
+    if op == OP_ADD:
+        return (values[id(args[0])] + values[id(args[1])]) & mask(w)
+    if op == OP_SUB:
+        return (values[id(args[0])] - values[id(args[1])]) & mask(w)
+    if op == OP_EQ:
+        return int(values[id(args[0])] == values[id(args[1])])
+    if op == OP_NE:
+        return int(values[id(args[0])] != values[id(args[1])])
+    if op == OP_ULT:
+        return int(values[id(args[0])] < values[id(args[1])])
+    if op == OP_ULE:
+        return int(values[id(args[0])] <= values[id(args[1])])
+    if op == OP_MUX:
+        return values[id(args[1])] if values[id(args[0])] else values[id(args[2])]
+    if op == OP_CAT:
+        acc = 0
+        shift = 0
+        for part in args:
+            acc |= values[id(part)] << shift
+            shift += part.width
+        return acc
+    if op == OP_SLICE:
+        lo, hi = node.params
+        return (values[id(args[0])] >> lo) & mask(hi - lo)
+    if op == OP_SHL:
+        return (values[id(args[0])] << node.params[0]) & mask(w)
+    if op == OP_LSHR:
+        return values[id(args[0])] >> node.params[0]
+    if op == OP_REDOR:
+        return int(values[id(args[0])] != 0)
+    if op == OP_REDAND:
+        return int(values[id(args[0])] == mask(args[0].width))
+    raise SimulationError(f"unknown operator {op!r}")
+
+
+class Simulator:
+    """Simulate a finalized circuit cycle by cycle.
+
+    Registers with symbolic init (``init=None``) start from
+    ``init_overrides`` when given, otherwise from 0.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        init_overrides: Optional[Mapping[str, int]] = None,
+    ) -> None:
+        if not circuit.finalized:
+            circuit.finalize()
+        self.circuit = circuit
+        self.cycle = 0
+        self._order: List[Expr] = topo_order(circuit_roots(circuit))
+        self.state: Dict[Reg, int] = {}
+        overrides = dict(init_overrides or {})
+        for name, reg in circuit.regs.items():
+            if name in overrides:
+                value = overrides.pop(name) & mask(reg.width)
+            elif reg.init is not None:
+                value = reg.init
+            else:
+                value = 0
+            self.state[reg] = value
+        if overrides:
+            unknown = ", ".join(sorted(overrides))
+            raise SimulationError(f"init override for unknown register(s): {unknown}")
+        self._values: Dict[int, int] = {}
+        self._last_inputs: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def _evaluate(self, inputs: Mapping[str, int]) -> Dict[int, int]:
+        values: Dict[int, int] = {}
+        circ_inputs = self.circuit.inputs
+        for name, node in circ_inputs.items():
+            if name not in inputs:
+                raise SimulationError(f"missing value for input {name!r}")
+            values[id(node)] = inputs[name] & mask(node.width)
+        extra = set(inputs) - set(circ_inputs)
+        if extra:
+            raise SimulationError(f"unknown input(s): {', '.join(sorted(extra))}")
+        for node in self._order:
+            key = id(node)
+            if key in values:
+                continue
+            op = node.op
+            if op == OP_CONST:
+                values[key] = node.params[0]
+            elif op == OP_REG:
+                values[key] = self.state[node]  # type: ignore[index]
+            elif op == OP_INPUT:
+                raise SimulationError(f"missing value for input {node.params[0]!r}")
+            else:
+                values[key] = _eval_node(op, node, values)
+        return values
+
+    def step(self, inputs: Optional[Mapping[str, int]] = None) -> Dict[str, int]:
+        """Advance one clock cycle; returns the outputs sampled this cycle."""
+        inputs = dict(inputs or {})
+        values = self._evaluate(inputs)
+        self._values = values
+        self._last_inputs = inputs
+        outputs = {
+            name: values[id(expr)] for name, expr in self.circuit.outputs.items()
+        }
+        new_state: Dict[Reg, int] = {}
+        for reg in self.circuit.regs.values():
+            assert reg.next is not None
+            new_state[reg] = values[id(reg.next)]
+        self.state = new_state
+        self.cycle += 1
+        return outputs
+
+    def run(
+        self,
+        cycles: int,
+        inputs: Optional[Mapping[str, int]] = None,
+        until: Optional[Callable[["Simulator"], bool]] = None,
+    ) -> int:
+        """Run for up to ``cycles`` cycles; stop early when ``until`` holds.
+
+        Returns the number of cycles actually executed.
+        """
+        executed = 0
+        for _ in range(cycles):
+            self.step(inputs)
+            executed += 1
+            if until is not None and until(self):
+                break
+        return executed
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def peek(self, target: "Expr | str") -> int:
+        """Current value of a register (pre-clock) or, for other
+        expressions/output names, the value computed in the last step."""
+        if isinstance(target, str):
+            if target in self.circuit.regs:
+                return self.state[self.circuit.regs[target]]
+            if target in self.circuit.outputs:
+                target = self.circuit.outputs[target]
+                if id(target) in self._values:
+                    return self._values[id(target)]
+            else:
+                raise SimulationError(f"unknown signal {target!r}")
+        if isinstance(target, Reg):
+            return self.state[target]
+        if id(target) in self._values:
+            return self._values[id(target)]
+        return self.eval(target)
+
+    def eval(self, expr: Expr, inputs: Optional[Mapping[str, int]] = None) -> int:
+        """Evaluate an arbitrary expression against the *current* state.
+
+        Inputs default to the values supplied in the last ``step``.
+        """
+        merged = dict(self._last_inputs)
+        merged.update(inputs or {})
+        values: Dict[int, int] = {}
+        for name, node in self.circuit.inputs.items():
+            if name in merged:
+                values[id(node)] = merged[name] & mask(node.width)
+        for node in topo_order([expr]):
+            key = id(node)
+            if key in values:
+                continue
+            op = node.op
+            if op == OP_CONST:
+                values[key] = node.params[0]
+            elif op == OP_REG:
+                values[key] = self.state[node]  # type: ignore[index]
+            elif op == OP_INPUT:
+                raise SimulationError(f"missing value for input {node.params[0]!r}")
+            else:
+                values[key] = _eval_node(op, node, values)
+        return values[id(expr)]
+
+    def poke(self, reg: "Reg | str", value: int) -> None:
+        """Force a register to a value (testing aid)."""
+        if isinstance(reg, str):
+            if reg not in self.circuit.regs:
+                raise SimulationError(f"unknown register {reg!r}")
+            reg = self.circuit.regs[reg]
+        self.state[reg] = value & mask(reg.width)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Copy of the full register state, keyed by register name."""
+        return {reg.name: value for reg, value in self.state.items()}

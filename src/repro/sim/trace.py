@@ -1,0 +1,74 @@
+"""Waveform capture for simulations and counterexample rendering."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.sim.engine import Simulator
+
+
+class Trace:
+    """A table of signal values over cycles."""
+
+    def __init__(self, signals: Sequence[str]) -> None:
+        self.signals = list(signals)
+        self.rows: List[Dict[str, int]] = []
+
+    def record(self, values: Mapping[str, int]) -> None:
+        self.rows.append({name: values[name] for name in self.signals})
+
+    def column(self, signal: str) -> List[int]:
+        return [row[signal] for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def render(self, max_cycles: Optional[int] = None, base: str = "hex") -> str:
+        """Render as an ASCII table (cycles as columns)."""
+        rows = self.rows if max_cycles is None else self.rows[:max_cycles]
+        if not rows:
+            return "(empty trace)"
+
+        def fmt(value: int) -> str:
+            return f"{value:x}" if base == "hex" else str(value)
+
+        name_w = max(len(s) for s in self.signals)
+        cells = {
+            s: [fmt(row[s]) for row in rows] for s in self.signals
+        }
+        col_w = [
+            max(len(str(t)), max(len(cells[s][t]) for s in self.signals))
+            for t in range(len(rows))
+        ]
+        header = " " * name_w + " | " + " ".join(
+            str(t).rjust(col_w[t]) for t in range(len(rows))
+        )
+        lines = [header, "-" * len(header)]
+        for s in self.signals:
+            line = s.rjust(name_w) + " | " + " ".join(
+                cells[s][t].rjust(col_w[t]) for t in range(len(rows))
+            )
+            lines.append(line)
+        return "\n".join(lines)
+
+
+class TracingSimulator:
+    """Wrap a :class:`Simulator`, recording chosen registers every cycle."""
+
+    def __init__(self, simulator: Simulator, signals: Sequence[str]) -> None:
+        self.simulator = simulator
+        self.trace = Trace(signals)
+        self._record()
+
+    def _record(self) -> None:
+        values = {name: self.simulator.peek(name) for name in self.trace.signals}
+        self.trace.record(values)
+
+    def step(self, inputs: Optional[Mapping[str, int]] = None) -> Dict[str, int]:
+        outputs = self.simulator.step(inputs)
+        self._record()
+        return outputs
+
+    def run(self, cycles: int, inputs: Optional[Mapping[str, int]] = None) -> None:
+        for _ in range(cycles):
+            self.step(inputs)

@@ -1,0 +1,18 @@
+"""The SoC substrate: ISA, assembler, ISS, RTL pipeline/cache/PMP, sim."""
+
+from repro.soc.assembler import assemble, disassemble
+from repro.soc.config import SocConfig
+from repro.soc.iss import ArchState, Iss
+from repro.soc.simulator import SocSim
+from repro.soc.soc import Soc, build_soc
+
+__all__ = [
+    "ArchState",
+    "Iss",
+    "Soc",
+    "SocConfig",
+    "SocSim",
+    "assemble",
+    "build_soc",
+    "disassemble",
+]

@@ -1,0 +1,80 @@
+"""A tiny two-pass assembler for RV8 programs.
+
+Programs are lists whose elements are :class:`Instruction` objects, label
+strings (``"loop:"``) or ``(mnemonic, operands...)`` tuples referencing
+labels for branch/jump targets.  The assembler resolves label offsets
+(PC-relative, in instruction words) and emits the final word list.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Union
+
+from repro.errors import IsaError
+from repro.soc import isa
+from repro.soc.isa import Instruction
+
+Item = Union[Instruction, str, tuple]
+
+_BRANCH_MNEMONICS = {"beq": isa.beq, "bne": isa.bne}
+
+
+def assemble(items: Sequence[Item], base: int = 0) -> List[int]:
+    """Assemble a program into 16-bit instruction words.
+
+    ``base`` is the word address of the first instruction (used for
+    PC-relative label resolution).
+    """
+    labels: Dict[str, int] = {}
+    placed: List[Union[Instruction, tuple]] = []
+    pc = base
+    for item in items:
+        if isinstance(item, str):
+            if not item.endswith(":"):
+                raise IsaError(f"label {item!r} must end with ':'")
+            name = item[:-1]
+            if name in labels:
+                raise IsaError(f"duplicate label {name!r}")
+            labels[name] = pc
+            continue
+        placed.append(item)
+        pc += 1
+
+    words: List[int] = []
+    pc = base
+    for item in placed:
+        if isinstance(item, Instruction):
+            words.append(item.encode())
+        elif isinstance(item, tuple):
+            words.append(_resolve(item, pc, labels).encode())
+        else:
+            raise IsaError(f"cannot assemble item {item!r}")
+        pc += 1
+    return words
+
+
+def _resolve(item: tuple, pc: int, labels: Dict[str, int]) -> Instruction:
+    mnemonic = item[0]
+    if mnemonic in _BRANCH_MNEMONICS:
+        _, rs1, rs2, label = item
+        offset = _label_offset(label, pc, labels)
+        return _BRANCH_MNEMONICS[mnemonic](rs1, rs2, offset)
+    if mnemonic == "jal":
+        _, rd, label = item
+        offset = _label_offset(label, pc, labels)
+        return isa.jal(rd, offset)
+    raise IsaError(f"unknown label-form mnemonic {mnemonic!r}")
+
+
+def _label_offset(label: str, pc: int, labels: Dict[str, int]) -> int:
+    if label not in labels:
+        raise IsaError(f"undefined label {label!r}")
+    offset = labels[label] - pc
+    if not -32 <= offset <= 31:
+        raise IsaError(f"branch to {label!r} out of range ({offset} words)")
+    return offset
+
+
+def disassemble(words: Sequence[int]) -> List[str]:
+    """Human-readable listing of a program."""
+    return [f"{i:3d}: {isa.decode(w)}" for i, w in enumerate(words)]

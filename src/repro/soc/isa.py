@@ -1,0 +1,307 @@
+"""RV8: a compact RISC-V-flavoured ISA for the reproduction SoC.
+
+16-bit instructions, 8-bit data, eight registers (x0 hardwired to zero).
+The instruction set mirrors the subset of RV32I that the paper's attack
+programs need (Fig. 2), plus machine-mode CSR access, ECALL and MRET for
+the PMP / trap experiments.
+
+Encoding (bit 0 = LSB)::
+
+    [15:12] opcode
+    [11:9]  rd      (rs2 for SB/BEQ/BNE)
+    [8:6]   rs1
+    [5:0]   imm6    (two's complement where signed)
+
+    R-type (ALU): [5:3] rs2, [2:0] funct
+    LI:           [7:0] imm8 (rd in [11:9])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import IsaError
+
+XLEN = 8
+NUM_REGS = 8
+INSTR_BITS = 16
+
+# Opcodes ---------------------------------------------------------------
+OP_NOP = 0x0
+OP_LI = 0x1
+OP_ADDI = 0x2
+OP_ALU = 0x3
+OP_LB = 0x4
+OP_SB = 0x5
+OP_BEQ = 0x6
+OP_BNE = 0x7
+OP_JAL = 0x8
+OP_CSRR = 0x9
+OP_CSRW = 0xA
+OP_MRET = 0xB
+OP_ECALL = 0xC
+
+OPCODE_NAMES: Dict[int, str] = {
+    OP_NOP: "nop",
+    OP_LI: "li",
+    OP_ADDI: "addi",
+    OP_ALU: "alu",
+    OP_LB: "lb",
+    OP_SB: "sb",
+    OP_BEQ: "beq",
+    OP_BNE: "bne",
+    OP_JAL: "jal",
+    OP_CSRR: "csrr",
+    OP_CSRW: "csrw",
+    OP_MRET: "mret",
+    OP_ECALL: "ecall",
+}
+
+# ALU functs ------------------------------------------------------------
+F_ADD = 0
+F_SUB = 1
+F_AND = 2
+F_OR = 3
+F_XOR = 4
+F_SLTU = 5
+
+FUNCT_NAMES = {F_ADD: "add", F_SUB: "sub", F_AND: "and",
+               F_OR: "or", F_XOR: "xor", F_SLTU: "sltu"}
+
+# CSR addresses ---------------------------------------------------------
+CSR_CYCLE = 0x00     # read-only cycle counter (user readable)
+CSR_MEPC = 0x01
+CSR_MCAUSE = 0x02
+CSR_PMPADDR0 = 0x08
+CSR_PMPCFG0 = 0x09
+CSR_PMPADDR1 = 0x0A
+CSR_PMPCFG1 = 0x0B
+
+CSR_NAMES = {
+    CSR_CYCLE: "cycle",
+    CSR_MEPC: "mepc",
+    CSR_MCAUSE: "mcause",
+    CSR_PMPADDR0: "pmpaddr0",
+    CSR_PMPCFG0: "pmpcfg0",
+    CSR_PMPADDR1: "pmpaddr1",
+    CSR_PMPCFG1: "pmpcfg1",
+}
+
+# PMP configuration bits (4-bit cfg registers) --------------------------
+PMP_R = 1 << 0   # user loads allowed inside the region
+PMP_W = 1 << 1   # user stores allowed inside the region
+PMP_A = 1 << 2   # region enabled (TOR address matching)
+PMP_L = 1 << 3   # entry locked
+
+# Trap causes ------------------------------------------------------------
+CAUSE_LOAD_FAULT = 5
+CAUSE_STORE_FAULT = 7
+CAUSE_ECALL = 2   # fits in 3 bits alongside the fault causes
+
+# Privilege modes --------------------------------------------------------
+MODE_USER = 0
+MODE_MACHINE = 1
+
+
+def sign_extend(value: int, bits: int, out_bits: int = XLEN) -> int:
+    """Two's-complement sign extension to ``out_bits`` (masked)."""
+    value &= (1 << bits) - 1
+    if value & (1 << (bits - 1)):
+        value -= 1 << bits
+    return value & ((1 << out_bits) - 1)
+
+
+def _check_reg(reg: int, role: str) -> int:
+    if not 0 <= reg < NUM_REGS:
+        raise IsaError(f"{role} register x{reg} out of range")
+    return reg
+
+
+def _check_simm6(imm: int) -> int:
+    if not -32 <= imm <= 31:
+        raise IsaError(f"signed 6-bit immediate {imm} out of range")
+    return imm & 0x3F
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded RV8 instruction."""
+
+    opcode: int
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    funct: int = 0
+    imm: int = 0   # raw field value (imm6 or imm8, unsigned container)
+
+    # ------------------------------------------------------------------
+    def encode(self) -> int:
+        word = (self.opcode & 0xF) << 12
+        if self.opcode == OP_LI:
+            word |= (self.rd & 0x7) << 9
+            word |= self.imm & 0xFF
+            return word
+        word |= (self.rd & 0x7) << 9
+        word |= (self.rs1 & 0x7) << 6
+        if self.opcode == OP_ALU:
+            word |= (self.rs2 & 0x7) << 3
+            word |= self.funct & 0x7
+        else:
+            word |= self.imm & 0x3F
+        return word
+
+    @property
+    def simm(self) -> int:
+        """Sign-extended 6-bit immediate as a Python int in [-32, 31]."""
+        value = self.imm & 0x3F
+        return value - 64 if value & 0x20 else value
+
+    def __str__(self) -> str:
+        name = OPCODE_NAMES.get(self.opcode, f"op{self.opcode}")
+        if self.opcode == OP_NOP:
+            return "nop"
+        if self.opcode == OP_LI:
+            return f"li x{self.rd}, {self.imm}"
+        if self.opcode == OP_ALU:
+            return (
+                f"{FUNCT_NAMES.get(self.funct, '?')} "
+                f"x{self.rd}, x{self.rs1}, x{self.rs2}"
+            )
+        if self.opcode in (OP_LB, OP_SB):
+            reg = "rd" if self.opcode == OP_LB else "rs2"
+            target = self.rd
+            return f"{name} x{target}, {self.simm}(x{self.rs1})"
+        if self.opcode in (OP_BEQ, OP_BNE):
+            return f"{name} x{self.rs1}, x{self.rd}, {self.simm}"
+        if self.opcode == OP_JAL:
+            return f"jal x{self.rd}, {self.simm}"
+        if self.opcode == OP_CSRR:
+            return f"csrr x{self.rd}, {CSR_NAMES.get(self.imm, hex(self.imm))}"
+        if self.opcode == OP_CSRW:
+            return f"csrw {CSR_NAMES.get(self.imm, hex(self.imm))}, x{self.rs1}"
+        return name
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 16-bit instruction word."""
+    if not 0 <= word < (1 << INSTR_BITS):
+        raise IsaError(f"instruction word {word:#x} out of range")
+    opcode = (word >> 12) & 0xF
+    rd = (word >> 9) & 0x7
+    rs1 = (word >> 6) & 0x7
+    if opcode == OP_LI:
+        return Instruction(opcode=OP_LI, rd=rd, imm=word & 0xFF)
+    if opcode == OP_ALU:
+        return Instruction(
+            opcode=OP_ALU, rd=rd, rs1=rs1,
+            rs2=(word >> 3) & 0x7, funct=word & 0x7,
+        )
+    return Instruction(opcode=opcode, rd=rd, rs1=rs1, rs2=rd, imm=word & 0x3F)
+
+
+# ----------------------------------------------------------------------
+# Instruction constructors (the assembler's primitives)
+# ----------------------------------------------------------------------
+def nop() -> Instruction:
+    return Instruction(OP_NOP)
+
+
+def li(rd: int, imm8: int) -> Instruction:
+    _check_reg(rd, "destination")
+    if not -128 <= imm8 <= 255:
+        raise IsaError(f"8-bit immediate {imm8} out of range")
+    return Instruction(OP_LI, rd=rd, imm=imm8 & 0xFF)
+
+
+def addi(rd: int, rs1: int, imm: int) -> Instruction:
+    return Instruction(
+        OP_ADDI, rd=_check_reg(rd, "destination"),
+        rs1=_check_reg(rs1, "source"), imm=_check_simm6(imm),
+    )
+
+
+def _alu(funct: int, rd: int, rs1: int, rs2: int) -> Instruction:
+    return Instruction(
+        OP_ALU, rd=_check_reg(rd, "destination"),
+        rs1=_check_reg(rs1, "source 1"), rs2=_check_reg(rs2, "source 2"),
+        funct=funct,
+    )
+
+
+def add(rd: int, rs1: int, rs2: int) -> Instruction:
+    return _alu(F_ADD, rd, rs1, rs2)
+
+
+def sub(rd: int, rs1: int, rs2: int) -> Instruction:
+    return _alu(F_SUB, rd, rs1, rs2)
+
+
+def and_(rd: int, rs1: int, rs2: int) -> Instruction:
+    return _alu(F_AND, rd, rs1, rs2)
+
+
+def or_(rd: int, rs1: int, rs2: int) -> Instruction:
+    return _alu(F_OR, rd, rs1, rs2)
+
+
+def xor(rd: int, rs1: int, rs2: int) -> Instruction:
+    return _alu(F_XOR, rd, rs1, rs2)
+
+
+def sltu(rd: int, rs1: int, rs2: int) -> Instruction:
+    return _alu(F_SLTU, rd, rs1, rs2)
+
+
+def lb(rd: int, offset: int, rs1: int) -> Instruction:
+    return Instruction(
+        OP_LB, rd=_check_reg(rd, "destination"),
+        rs1=_check_reg(rs1, "base"), imm=_check_simm6(offset),
+    )
+
+
+def sb(rs2: int, offset: int, rs1: int) -> Instruction:
+    return Instruction(
+        OP_SB, rd=_check_reg(rs2, "store source"),
+        rs1=_check_reg(rs1, "base"), imm=_check_simm6(offset),
+    )
+
+
+def beq(rs1: int, rs2: int, offset: int) -> Instruction:
+    return Instruction(
+        OP_BEQ, rd=_check_reg(rs2, "source 2"),
+        rs1=_check_reg(rs1, "source 1"), imm=_check_simm6(offset),
+    )
+
+
+def bne(rs1: int, rs2: int, offset: int) -> Instruction:
+    return Instruction(
+        OP_BNE, rd=_check_reg(rs2, "source 2"),
+        rs1=_check_reg(rs1, "source 1"), imm=_check_simm6(offset),
+    )
+
+
+def jal(rd: int, offset: int) -> Instruction:
+    return Instruction(
+        OP_JAL, rd=_check_reg(rd, "link"), imm=_check_simm6(offset)
+    )
+
+
+def csrr(rd: int, csr: int) -> Instruction:
+    if csr not in CSR_NAMES:
+        raise IsaError(f"unknown CSR {csr:#x}")
+    return Instruction(OP_CSRR, rd=_check_reg(rd, "destination"), imm=csr)
+
+
+def csrw(csr: int, rs1: int) -> Instruction:
+    if csr not in CSR_NAMES:
+        raise IsaError(f"unknown CSR {csr:#x}")
+    return Instruction(OP_CSRW, rs1=_check_reg(rs1, "source"), imm=csr)
+
+
+def mret() -> Instruction:
+    return Instruction(OP_MRET)
+
+
+def ecall() -> Instruction:
+    return Instruction(OP_ECALL)

@@ -1,0 +1,314 @@
+"""Instruction-set simulator (ISS): the golden architectural model.
+
+Executes RV8 programs one instruction at a time with full ISA semantics —
+PMP checks, traps, CSRs, privilege modes — but no microarchitectural timing.
+The RTL pipeline is validated against this model (architectural trace
+equivalence), and the PMP lock-compliance test of Sec. VII-C compares the
+buggy RTL against this specification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import IsaError
+from repro.soc import isa
+from repro.soc.config import SocConfig
+from repro.soc.isa import (
+    CAUSE_ECALL,
+    CAUSE_LOAD_FAULT,
+    CAUSE_STORE_FAULT,
+    CSR_CYCLE,
+    CSR_MCAUSE,
+    CSR_MEPC,
+    CSR_PMPADDR0,
+    CSR_PMPADDR1,
+    CSR_PMPCFG0,
+    CSR_PMPCFG1,
+    MODE_MACHINE,
+    MODE_USER,
+    NUM_REGS,
+    OP_ADDI,
+    OP_ALU,
+    OP_BEQ,
+    OP_BNE,
+    OP_CSRR,
+    OP_CSRW,
+    OP_ECALL,
+    OP_JAL,
+    OP_LB,
+    OP_LI,
+    OP_MRET,
+    OP_NOP,
+    OP_SB,
+    F_ADD,
+    F_AND,
+    F_OR,
+    F_SLTU,
+    F_SUB,
+    F_XOR,
+    PMP_A,
+    PMP_L,
+    PMP_R,
+    PMP_W,
+    Instruction,
+    decode,
+)
+
+MASK8 = 0xFF
+
+
+@dataclass
+class ArchState:
+    """A snapshot of the architectural state (for trace comparison)."""
+
+    pc: int
+    regs: List[int]
+    mode: int
+    mepc: int
+    mcause: int
+    pmpaddr0: int
+    pmpcfg0: int
+    pmpaddr1: int
+    pmpcfg1: int
+
+    def as_dict(self) -> Dict[str, int]:
+        data = {f"x{i}": v for i, v in enumerate(self.regs)}
+        data.update(
+            pc=self.pc, mode=self.mode, mepc=self.mepc, mcause=self.mcause,
+            pmpaddr0=self.pmpaddr0, pmpcfg0=self.pmpcfg0,
+            pmpaddr1=self.pmpaddr1, pmpcfg1=self.pmpcfg1,
+        )
+        return data
+
+
+class Iss:
+    """Architectural simulator for one RV8 hart."""
+
+    def __init__(
+        self,
+        config: SocConfig,
+        program: Sequence[int],
+        memory: Optional[Sequence[int]] = None,
+        mode: int = MODE_MACHINE,
+        tor_lock: Optional[bool] = None,
+    ) -> None:
+        self.config = config
+        if len(program) > config.imem_words:
+            raise IsaError(
+                f"program of {len(program)} words exceeds imem "
+                f"({config.imem_words} words)"
+            )
+        self.imem: List[int] = list(program) + [0] * (
+            config.imem_words - len(program)
+        )
+        mem = list(memory or [])
+        if len(mem) > config.dmem_words:
+            raise IsaError("initial memory exceeds dmem size")
+        self.dmem: List[int] = [v & MASK8 for v in mem] + [0] * (
+            config.dmem_words - len(mem)
+        )
+        self.pc = 0
+        self.regs = [0] * NUM_REGS
+        self.mode = mode
+        self.mepc = 0
+        self.mcause = 0
+        self.csr: Dict[int, int] = {
+            CSR_PMPADDR0: 0, CSR_PMPCFG0: 0,
+            CSR_PMPADDR1: 0, CSR_PMPCFG1: 0,
+        }
+        # ISA compliance knob: True = the specified TOR lock rule.  The
+        # buggy-RTL equivalence tests set this to False deliberately.
+        self.tor_lock = config.pmp_tor_lock if tor_lock is None else tor_lock
+        self.retired = 0
+        self.trap_count = 0
+
+    # ------------------------------------------------------------------
+    # Memory & protection
+    # ------------------------------------------------------------------
+    def _mem_index(self, addr: int) -> int:
+        return addr & (self.config.dmem_words - 1)
+
+    def pmp_allows(self, addr: int, is_store: bool) -> bool:
+        """PMP check for the current mode.
+
+        The region is TOR-style with an *inclusive* upper bound, compared
+        on effective (wrapped) addresses so that memory aliasing cannot
+        bypass protection — identical to the RTL.
+        """
+        if self.mode == MODE_MACHINE:
+            return True
+        cfg1 = self.csr[CSR_PMPCFG1]
+        if not cfg1 & PMP_A:
+            return True
+        wrap = self.config.dmem_words - 1
+        eff = addr & wrap
+        lo = self.csr[CSR_PMPADDR0] & wrap
+        hi = self.csr[CSR_PMPADDR1] & wrap
+        if not lo <= eff <= hi:
+            return True
+        return bool(cfg1 & (PMP_W if is_store else PMP_R))
+
+    def load(self, addr: int) -> int:
+        return self.dmem[self._mem_index(addr)]
+
+    def store(self, addr: int, value: int) -> None:
+        self.dmem[self._mem_index(addr)] = value & MASK8
+
+    # ------------------------------------------------------------------
+    # CSRs
+    # ------------------------------------------------------------------
+    def csr_read(self, csr: int, cycle_value: int = 0) -> int:
+        if csr == CSR_CYCLE:
+            return cycle_value & ((1 << self.config.counter_width) - 1)
+        if csr == CSR_MEPC:
+            return self.mepc
+        if csr == CSR_MCAUSE:
+            return self.mcause
+        return self.csr.get(csr, 0)
+
+    def _pmp_write_allowed(self, csr: int) -> bool:
+        cfg0 = self.csr[CSR_PMPCFG0]
+        cfg1 = self.csr[CSR_PMPCFG1]
+        if csr in (CSR_PMPADDR1, CSR_PMPCFG1):
+            return not cfg1 & PMP_L
+        if csr == CSR_PMPCFG0:
+            return not cfg0 & PMP_L
+        if csr == CSR_PMPADDR0:
+            if cfg0 & PMP_L:
+                return False
+            # The ISA rule of Sec. VII-C: a locked TOR end entry locks the
+            # start address register of its range.
+            if self.tor_lock and (cfg1 & PMP_L) and (cfg1 & PMP_A):
+                return False
+            return True
+        return True
+
+    def csr_write(self, csr: int, value: int) -> None:
+        """Machine-mode CSR write (user-mode writes are ignored upstream)."""
+        value &= MASK8
+        if csr == CSR_CYCLE:
+            return  # read-only
+        if csr == CSR_MEPC:
+            self.mepc = value
+            return
+        if csr == CSR_MCAUSE:
+            self.mcause = value & 0x7
+            return
+        if csr in (CSR_PMPCFG0, CSR_PMPCFG1):
+            if self._pmp_write_allowed(csr):
+                self.csr[csr] = value & 0xF
+            return
+        if csr in (CSR_PMPADDR0, CSR_PMPADDR1):
+            if self._pmp_write_allowed(csr):
+                self.csr[csr] = value
+            return
+        raise IsaError(f"unknown CSR {csr:#x}")
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _trap(self, cause: int, pc: int) -> None:
+        self.mepc = pc
+        self.mcause = cause & 0x7
+        self.mode = MODE_MACHINE
+        self.pc = self.config.trap_vector
+        self.trap_count += 1
+
+    def _write_reg(self, rd: int, value: int) -> None:
+        if rd != 0:
+            self.regs[rd] = value & MASK8
+
+    def fetch(self, pc: int) -> Instruction:
+        return decode(self.imem[pc & (self.config.imem_words - 1)])
+
+    def step(self, cycle_value: int = 0) -> Instruction:
+        """Execute one instruction; returns the decoded instruction."""
+        pc = self.pc
+        instr = self.fetch(pc)
+        next_pc = (pc + 1) & MASK8
+        op = instr.opcode
+        if op == OP_NOP:
+            pass
+        elif op == OP_LI:
+            self._write_reg(instr.rd, instr.imm)
+        elif op == OP_ADDI:
+            self._write_reg(instr.rd, self.regs[instr.rs1] + instr.simm)
+        elif op == OP_ALU:
+            a, b = self.regs[instr.rs1], self.regs[instr.rs2]
+            results = {
+                F_ADD: a + b, F_SUB: a - b, F_AND: a & b,
+                F_OR: a | b, F_XOR: a ^ b, F_SLTU: int(a < b),
+            }
+            self._write_reg(instr.rd, results.get(instr.funct, 0))
+        elif op == OP_LB:
+            addr = (self.regs[instr.rs1] + instr.simm) & MASK8
+            if not self.pmp_allows(addr, is_store=False):
+                self._trap(CAUSE_LOAD_FAULT, pc)
+                self.retired += 1
+                return instr
+            self._write_reg(instr.rd, self.load(addr))
+        elif op == OP_SB:
+            addr = (self.regs[instr.rs1] + instr.simm) & MASK8
+            if not self.pmp_allows(addr, is_store=True):
+                self._trap(CAUSE_STORE_FAULT, pc)
+                self.retired += 1
+                return instr
+            self.store(addr, self.regs[instr.rs2])
+        elif op == OP_BEQ:
+            if self.regs[instr.rs1] == self.regs[instr.rs2]:
+                next_pc = (pc + instr.simm) & MASK8
+        elif op == OP_BNE:
+            if self.regs[instr.rs1] != self.regs[instr.rs2]:
+                next_pc = (pc + instr.simm) & MASK8
+        elif op == OP_JAL:
+            self._write_reg(instr.rd, (pc + 1) & MASK8)
+            next_pc = (pc + instr.simm) & MASK8
+        elif op == OP_CSRR:
+            self._write_reg(instr.rd, self.csr_read(instr.imm, cycle_value))
+        elif op == OP_CSRW:
+            if self.mode == MODE_MACHINE:
+                self.csr_write(instr.imm, self.regs[instr.rs1])
+            # user-mode CSR writes are silently ignored (design decision,
+            # matched by the RTL)
+        elif op == OP_MRET:
+            if self.mode == MODE_MACHINE:
+                self.pc = self.mepc
+                self.mode = MODE_USER
+                self.retired += 1
+                return instr
+            # MRET in user mode is a no-op (matches the RTL).
+        elif op == OP_ECALL:
+            self._trap(CAUSE_ECALL, pc)
+            self.retired += 1
+            return instr
+        else:
+            raise IsaError(f"unknown opcode {op:#x} at pc={pc}")
+        self.pc = next_pc
+        self.retired += 1
+        return instr
+
+    def run(self, max_steps: int, stop_pc: Optional[int] = None) -> int:
+        """Run up to ``max_steps`` instructions; stop when pc hits
+        ``stop_pc``.  Returns instructions retired."""
+        steps = 0
+        while steps < max_steps:
+            if stop_pc is not None and self.pc == stop_pc:
+                break
+            self.step()
+            steps += 1
+        return steps
+
+    def arch_state(self) -> ArchState:
+        return ArchState(
+            pc=self.pc,
+            regs=list(self.regs),
+            mode=self.mode,
+            mepc=self.mepc,
+            mcause=self.mcause,
+            pmpaddr0=self.csr[CSR_PMPADDR0],
+            pmpcfg0=self.csr[CSR_PMPCFG0],
+            pmpaddr1=self.csr[CSR_PMPADDR1],
+            pmpcfg1=self.csr[CSR_PMPCFG1],
+        )

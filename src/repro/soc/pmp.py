@@ -1,0 +1,131 @@
+"""Physical memory protection (PMP) logic.
+
+A single TOR-style region is implemented with two entries, mirroring the
+slice of the RISC-V PMP scheme that the paper's experiments exercise:
+
+* ``pmpaddr0`` — region start, ``pmpaddr1`` — region end (inclusive, on
+  effective addresses).
+* ``pmpcfg1`` carries the region's attributes: R (user loads allowed),
+  W (user stores allowed), A (region enabled), L (entry locked).
+* ``pmpcfg0`` only matters for its own lock bit.
+
+Lock semantics (the subject of Sec. VII-C): a locked entry ignores writes
+to its own address and config registers.  The ISA additionally requires
+that a locked TOR end entry locks the *start address* register of its
+range.  The ``pmp_tor_lock`` config knob selects the compliant
+implementation or RocketChip's buggy one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.hdl import Circuit, Expr, Reg, const
+from repro.soc.config import SocConfig
+from repro.soc.isa import (
+    CSR_PMPADDR0,
+    CSR_PMPADDR1,
+    CSR_PMPCFG0,
+    CSR_PMPCFG1,
+    MODE_MACHINE,
+)
+
+PMP_R_BIT = 0
+PMP_W_BIT = 1
+PMP_A_BIT = 2
+PMP_L_BIT = 3
+
+
+@dataclass
+class PmpHandles:
+    """PMP CSR registers (all architectural state)."""
+
+    pmpaddr0: Reg
+    pmpcfg0: Reg
+    pmpaddr1: Reg
+    pmpcfg1: Reg
+
+    def regs(self) -> Dict[int, Reg]:
+        return {
+            CSR_PMPADDR0: self.pmpaddr0,
+            CSR_PMPCFG0: self.pmpcfg0,
+            CSR_PMPADDR1: self.pmpaddr1,
+            CSR_PMPCFG1: self.pmpcfg1,
+        }
+
+
+def build_pmp_regs(c: Circuit, config: SocConfig) -> PmpHandles:
+    """Declare the PMP CSR registers."""
+    return PmpHandles(
+        pmpaddr0=c.reg("pmpaddr0", config.xlen, init=0, arch=True),
+        pmpcfg0=c.reg("pmpcfg0", 4, init=0, arch=True),
+        pmpaddr1=c.reg("pmpaddr1", config.xlen, init=0, arch=True),
+        pmpcfg1=c.reg("pmpcfg1", 4, init=0, arch=True),
+    )
+
+
+def pmp_access_ok(
+    config: SocConfig,
+    pmp: PmpHandles,
+    eff_addr: Expr,
+    is_store: Expr,
+    mode: Expr,
+) -> Expr:
+    """1 iff the access is permitted.
+
+    ``eff_addr`` is the effective (wrapped) address, ``dmem_index_bits``
+    wide; the PMP compares effective addresses so that memory aliasing
+    cannot bypass protection.
+    """
+    kb = config.dmem_index_bits
+    lo = pmp.pmpaddr0[0:kb] if kb < config.xlen else pmp.pmpaddr0
+    hi = pmp.pmpaddr1[0:kb] if kb < config.xlen else pmp.pmpaddr1
+    enabled = pmp.pmpcfg1[PMP_A_BIT]
+    in_range = lo.ule(eff_addr) & eff_addr.ule(hi)
+    match = enabled & in_range
+    from repro.hdl import mux
+
+    perm = mux(is_store, pmp.pmpcfg1[PMP_W_BIT], pmp.pmpcfg1[PMP_R_BIT])
+    machine = mode.eq(MODE_MACHINE)
+    return machine | ~match | perm
+
+
+def pmp_write_enables(
+    config: SocConfig, pmp: PmpHandles
+) -> Dict[int, Expr]:
+    """Per-CSR effective write permission under the lock rules."""
+    cfg0_locked = pmp.pmpcfg0[PMP_L_BIT]
+    cfg1_locked = pmp.pmpcfg1[PMP_L_BIT]
+    cfg1_tor = pmp.pmpcfg1[PMP_A_BIT]
+    addr0_ok = ~cfg0_locked
+    if config.pmp_tor_lock:
+        # Compliant: a locked TOR end entry locks the range start address.
+        addr0_ok = addr0_ok & ~(cfg1_locked & cfg1_tor)
+    return {
+        CSR_PMPADDR0: addr0_ok,
+        CSR_PMPCFG0: ~cfg0_locked,
+        CSR_PMPADDR1: ~cfg1_locked,
+        CSR_PMPCFG1: ~cfg1_locked,
+    }
+
+
+def protection_invariant(
+    config: SocConfig, pmp: PmpHandles, secret_addr: int
+) -> Expr:
+    """``secret_data_protected()``: the PMP configuration shields the
+    protected location and is locked against reconfiguration.
+
+    Used as the UPEC property's assumption at t (and, for the compliant
+    design, an actual invariant of the system).
+    """
+    kb = config.dmem_index_bits
+    eff_secret = secret_addr & (config.dmem_words - 1)
+    lo = pmp.pmpaddr0[0:kb] if kb < config.xlen else pmp.pmpaddr0
+    hi = pmp.pmpaddr1[0:kb] if kb < config.xlen else pmp.pmpaddr1
+    secret = const(eff_secret, kb)
+    covered = lo.ule(secret) & secret.ule(hi)
+    cfg1 = pmp.pmpcfg1
+    no_user_access = ~cfg1[PMP_R_BIT] & ~cfg1[PMP_W_BIT]
+    enabled_locked = cfg1[PMP_A_BIT] & cfg1[PMP_L_BIT]
+    return covered & no_user_access & enabled_locked

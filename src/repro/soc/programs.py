@@ -1,0 +1,182 @@
+"""Program templates: boot code, trap handler, and the attack sequences.
+
+Memory-image layout used by the attack demonstrations::
+
+    word 0                 jal  x0, boot       (reset enters here)
+    word 1 (trap_vector)   trap handler: skip the faulting instruction
+    ...
+    boot:                  configure PMP, prime the secret's cache line,
+                           set mepc to the user program, MRET
+    user:                  attack sequence (caller-provided)
+    halt:                  jal x0, 0
+
+The trap handler implements the OS behaviour the paper assumes: it yields
+control back to the attacker a fixed number of cycles after the exception
+(``mepc <- mepc + 1; mret``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import IsaError
+from repro.soc import isa
+from repro.soc.config import SocConfig
+
+TRAP_VECTOR = 1  # word 0 is the reset jump
+
+
+@dataclass
+class ProgramImage:
+    """An assembled memory image plus the addresses of its landmarks."""
+
+    words: List[int]
+    user_start: int
+    halt_pc: int
+    trap_vector: int = TRAP_VECTOR
+
+
+def trap_handler() -> List[isa.Instruction]:
+    """Skip the faulting/ecall instruction and return to user mode."""
+    return [
+        isa.csrr(6, isa.CSR_MEPC),
+        isa.addi(6, 6, 1),
+        isa.csrw(isa.CSR_MEPC, 6),
+        isa.mret(),
+    ]
+
+
+def boot_code(
+    config: SocConfig,
+    user_start: int,
+    prime_secret: bool = True,
+    lock: bool = True,
+) -> List[isa.Instruction]:
+    """Machine-mode boot: protect the secret, optionally prime its cache
+    line (the paper's 'earlier execution of privileged code'), enter user
+    mode at ``user_start``."""
+    secret = config.secret_addr & (config.dmem_words - 1)
+    cfg1 = isa.PMP_A | (isa.PMP_L if lock else 0)  # no R, no W for users
+    code = [
+        isa.li(1, secret),
+        isa.csrw(isa.CSR_PMPADDR0, 1),
+        isa.csrw(isa.CSR_PMPADDR1, 1),   # region = [secret, secret]
+        isa.li(2, cfg1),
+        isa.csrw(isa.CSR_PMPCFG1, 2),
+    ]
+    if prime_secret:
+        code.append(isa.lb(3, 0, 1))     # machine-mode load caches the secret
+    code += [
+        isa.li(4, user_start),
+        isa.csrw(isa.CSR_MEPC, 4),
+        isa.mret(),
+    ]
+    return code
+
+
+def build_image(
+    config: SocConfig,
+    user_code: Sequence[isa.Instruction],
+    prime_secret: bool = True,
+    lock: bool = True,
+) -> ProgramImage:
+    """Assemble reset jump + handler + boot + user code into one image."""
+    if config.trap_vector != TRAP_VECTOR:
+        raise IsaError(
+            f"program images place the handler at word {TRAP_VECTOR}; "
+            f"config.trap_vector is {config.trap_vector}"
+        )
+    handler = trap_handler()
+    boot_start = TRAP_VECTOR + len(handler)
+    # Boot length is independent of user_start's value (li is fixed-size).
+    boot_len = len(boot_code(config, 0, prime_secret, lock))
+    user_start = boot_start + boot_len
+    boot = boot_code(config, user_start, prime_secret, lock)
+    words = [isa.Instruction(isa.OP_JAL, rd=0, imm=boot_start & 0x3F).encode()]
+    words += [i.encode() for i in handler]
+    words += [i.encode() for i in boot]
+    user_words = [i.encode() for i in user_code]
+    words += user_words
+    halt_pc = None
+    for offset, instr in enumerate(user_code):
+        if instr.opcode == isa.OP_JAL and instr.rd == 0 and instr.simm == 0:
+            halt_pc = user_start + offset
+            break
+    if halt_pc is None:
+        raise IsaError("user code must contain a halt loop (jal x0, 0)")
+    if len(words) > config.imem_words:
+        raise IsaError(
+            f"image of {len(words)} words exceeds imem "
+            f"({config.imem_words} words)"
+        )
+    return ProgramImage(words=words, user_start=user_start, halt_pc=halt_pc)
+
+
+def orc_sequence(config: SocConfig, guess: int, array_base: int = 0) -> List[isa.Instruction]:
+    """One iteration of the Orc attack (Fig. 2 of the paper).
+
+    ``array_base`` must be cache-line aligned; ``guess`` selects the cache
+    line whose RAW hazard is probed (the paper's ``#test_value``).
+    """
+    if array_base & (config.cache_lines - 1):
+        raise IsaError("array_base must be cache-line aligned")
+    if not 0 <= guess < config.cache_lines:
+        raise IsaError("guess out of cache-line range")
+    protected = config.secret_addr & 0xFF
+    return [
+        isa.li(2, array_base),          # x2 <- #accessible_addr
+        isa.addi(2, 2, guess),          # x2 <- x2 + #test_value
+        isa.li(1, protected),           # x1 <- #protected_addr
+        isa.lb(3, 0, 2),                # prime the guessed line
+        # Park x4 on the primed line: when the illegal load is squashed,
+        # the *resumed* dependent load hits this line for every guess, so
+        # the only guess-dependent timing is the covert RAW hazard itself.
+        isa.add(4, 2, 0),
+        isa.sb(3, 0, 2),                # pending write to the guessed line
+        isa.csrr(3, isa.CSR_CYCLE),     # t0 (x3 is free after the store)
+        isa.lb(4, 0, 1),                # illegal load of the secret (traps)
+        isa.lb(5, 0, 4),                # dependent load, address = secret
+        isa.csrr(7, isa.CSR_CYCLE),     # t1 (resumed here by the handler)
+        isa.jal(0, 0),                  # halt
+    ]
+
+
+def meltdown_sequence(
+    config: SocConfig,
+    probe_addr: int,
+    prime_base: int,
+) -> List[isa.Instruction]:
+    """One Meltdown-style attack run probing a single address.
+
+    ``prime_base`` selects a tag-distinct region used to fill all cache
+    lines except the secret's own, so that the probe only hits if the
+    squashed dependent load refilled its line.
+    """
+    secret_line = config.line_index(config.secret_addr)
+    protected = config.secret_addr & 0xFF
+    code: List[isa.Instruction] = []
+    # Prime every line except the secret's with prime_base-region data.
+    if config.cache_lines > 32:
+        raise IsaError("meltdown_sequence primes via imm6 offsets (<= 32 lines)")
+    code.append(isa.li(2, prime_base))
+    for line in range(config.cache_lines):
+        if line == secret_line:
+            continue
+        code.append(isa.lb(3, line, 2))
+    code += [
+        isa.li(1, protected),
+        # Park x4 on the protected address: the handler-resumed re-run of
+        # the dependent load faults and is skipped, so it can never touch
+        # the cache and pollute the footprint left by the squashed run.
+        isa.li(4, protected),
+        isa.lb(4, 0, 1),                # illegal load of the secret (traps)
+        isa.lb(5, 0, 4),                # squashed dependent load -> refill
+        # resumed here by the handler: probe one candidate address
+        isa.li(2, probe_addr),
+        isa.csrr(6, isa.CSR_CYCLE),     # t0
+        isa.lb(3, 0, 2),                # probe load
+        isa.csrr(7, isa.CSR_CYCLE),     # t1
+        isa.jal(0, 0),                  # halt
+    ]
+    return code

@@ -1,0 +1,188 @@
+"""Unit tests for the AIG and its CNF mapping."""
+
+import itertools
+
+import pytest
+
+from repro.errors import FormalError
+from repro.formal.aig import FALSE, TRUE, Aig, CnfMapper
+from repro.formal.solver import CdclSolver
+
+
+def test_constants():
+    aig = Aig()
+    assert aig.const(False) == FALSE
+    assert aig.const(True) == TRUE
+
+
+def test_and_simplifications():
+    aig = Aig()
+    a = aig.new_input()
+    assert aig.and_(a, FALSE) == FALSE
+    assert aig.and_(FALSE, a) == FALSE
+    assert aig.and_(a, TRUE) == a
+    assert aig.and_(TRUE, a) == a
+    assert aig.and_(a, a) == a
+    assert aig.and_(a, a ^ 1) == FALSE
+
+
+def test_structural_hashing():
+    aig = Aig()
+    a, b = aig.new_inputs(2)
+    n1 = aig.and_(a, b)
+    n2 = aig.and_(b, a)
+    assert n1 == n2
+    size_before = len(aig)
+    aig.and_(a, b)
+    assert len(aig) == size_before
+
+
+def test_mux_simplifications():
+    aig = Aig()
+    a, b, s = aig.new_inputs(3)
+    assert aig.mux_(TRUE, a, b) == a
+    assert aig.mux_(FALSE, a, b) == b
+    assert aig.mux_(s, a, a) == a
+
+
+def test_evaluate_gates_exhaustively():
+    aig = Aig()
+    a, b = aig.new_inputs(2)
+    nodes = {
+        "and": aig.and_(a, b),
+        "or": aig.or_(a, b),
+        "xor": aig.xor_(a, b),
+        "xnor": aig.xnor_(a, b),
+        "implies": aig.implies_(a, b),
+        "not": aig.not_(a),
+    }
+    python_ops = {
+        "and": lambda x, y: x and y,
+        "or": lambda x, y: x or y,
+        "xor": lambda x, y: x != y,
+        "xnor": lambda x, y: x == y,
+        "implies": lambda x, y: (not x) or y,
+        "not": lambda x, y: not x,
+    }
+    for x, y in itertools.product([False, True], repeat=2):
+        values = aig.evaluate(list(nodes.values()), {a: x, b: y})
+        for (name, _), got in zip(nodes.items(), values):
+            assert got == python_ops[name](x, y), name
+
+
+def test_evaluate_mux_exhaustively():
+    aig = Aig()
+    s, a, b = aig.new_inputs(3)
+    m = aig.mux_(s, a, b)
+    for sv, av, bv in itertools.product([False, True], repeat=3):
+        (got,) = aig.evaluate([m], {s: sv, a: av, b: bv})
+        assert got == (av if sv else bv)
+
+
+def test_evaluate_requires_positive_input_lits():
+    aig = Aig()
+    a = aig.new_input()
+    with pytest.raises(FormalError):
+        aig.evaluate([a], {a ^ 1: True})
+
+
+def test_evaluate_missing_input_rejected():
+    aig = Aig()
+    a, b = aig.new_inputs(2)
+    n = aig.and_(a, b)
+    with pytest.raises(FormalError):
+        aig.evaluate([a], {b: True})
+    # But the AND node itself evaluates if all leaves are known.
+    assert aig.evaluate([n], {a: True, b: True}) == [True]
+
+
+def test_and_or_all():
+    aig = Aig()
+    bits = aig.new_inputs(3)
+    conj = aig.and_all(bits)
+    disj = aig.or_all(bits)
+    assert aig.and_all([]) == TRUE
+    assert aig.or_all([]) == FALSE
+    values = aig.evaluate([conj, disj], {bits[0]: True, bits[1]: True, bits[2]: False})
+    assert values == [False, True]
+
+
+def test_cone_topological():
+    aig = Aig()
+    a, b, c = aig.new_inputs(3)
+    ab = aig.and_(a, b)
+    abc = aig.and_(ab, c)
+    cone = aig.cone([abc])
+    assert cone.index(ab >> 1) < cone.index(abc >> 1)
+    # Inputs are not in the cone list.
+    assert (a >> 1) not in cone
+
+
+def test_cnf_mapper_equivalence():
+    """SAT on the Tseitin encoding agrees with direct evaluation."""
+    aig = Aig()
+    a, b, c = aig.new_inputs(3)
+    formula = aig.or_(aig.and_(a, b), aig.xor_(b, c))
+    mapper = CnfMapper(aig)
+    target = mapper.assumption(formula)
+    assert mapper.solver.solve(assumptions=[target]) is True
+    model = {
+        lit: mapper.model_lit(lit) for lit in (a, b, c)
+    }
+    (value,) = aig.evaluate([formula], model)
+    assert value is True
+    # Force the formula false and check again.
+    assert mapper.solver.solve(assumptions=[-target]) is True
+    model = {lit: mapper.model_lit(lit) for lit in (a, b, c)}
+    (value,) = aig.evaluate([formula], model)
+    assert value is False
+
+
+def test_cnf_mapper_constants():
+    aig = Aig()
+    mapper = CnfMapper(aig)
+    assert mapper.solver.solve(assumptions=[mapper.assumption(TRUE)]) is True
+    assert mapper.solver.solve(assumptions=[mapper.assumption(FALSE)]) is False
+    assert mapper.model_lit(TRUE) is True
+    assert mapper.model_lit(FALSE) is False
+
+
+def test_cnf_mapper_unsat_on_contradiction():
+    aig = Aig()
+    a = aig.new_input()
+    mapper = CnfMapper(aig)
+    mapper.assert_true(a)
+    mapper.assert_true(a ^ 1)
+    assert mapper.solver.solve() is False
+
+
+def test_cnf_mapper_incremental_sharing():
+    """Emitting the same cone twice adds no new clauses."""
+    aig = Aig()
+    a, b = aig.new_inputs(2)
+    n = aig.and_(a, b)
+    mapper = CnfMapper(aig)
+    mapper.assumption(n)
+    emitted = mapper.clauses_emitted
+    mapper.assumption(n)
+    assert mapper.clauses_emitted == emitted
+
+
+def test_model_lit_for_unconstrained_node():
+    aig = Aig()
+    a = aig.new_input()
+    b = aig.new_input()
+    mapper = CnfMapper(aig)
+    mapper.assert_true(a)
+    assert mapper.solver.solve() is True
+    # b never reached the solver; defaults to False.
+    assert mapper.model_lit(b) is False
+    assert mapper.model_lit(b ^ 1) is True
+
+
+def test_num_ands():
+    aig = Aig()
+    a, b = aig.new_inputs(2)
+    base = aig.num_ands()
+    aig.and_(a, b)
+    assert aig.num_ands() == base + 1

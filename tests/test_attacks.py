@@ -1,0 +1,127 @@
+"""End-to-end covert-channel attack tests on the simulator (Sec. III /
+Fig. 1 / Fig. 2 phenomenology).
+
+These use a mid-sized geometry so each attack run stays fast; the full
+paper-scale sweeps live in the benchmarks.
+"""
+
+import pytest
+
+from repro.attacks import (
+    TimingSeries,
+    cache_footprint_difference,
+    run_meltdown_attack,
+    run_orc_attack,
+)
+from repro.soc import SocConfig, build_soc
+
+ATTACK_KWARGS = dict(
+    imem_words=64,
+    dmem_words=32,
+    cache_lines=8,
+    write_pending_cycles=6,
+    miss_latency=6,
+    counter_width=16,
+    secret_addr=20,
+)
+
+SOC_ORC = build_soc(SocConfig.orc(**ATTACK_KWARGS))
+SOC_SECURE = build_soc(SocConfig.secure(**ATTACK_KWARGS))
+SOC_MELTDOWN = build_soc(SocConfig.meltdown(**ATTACK_KWARGS))
+
+
+# ----------------------------------------------------------------------
+# TimingSeries
+# ----------------------------------------------------------------------
+def test_timing_series_outlier_detection():
+    s = TimingSeries("t", [0, 1, 2, 3], [10, 10, 15, 10])
+    assert s.outlier() == 2
+    assert s.spread() == 5
+
+
+def test_timing_series_flat_has_no_outlier():
+    s = TimingSeries("t", [0, 1, 2], [10, 10, 10])
+    assert s.outlier() is None
+    assert s.spread() == 0
+
+
+def test_timing_series_multiple_deviants_rejected():
+    s = TimingSeries("t", [0, 1, 2, 3], [10, 15, 15, 10])
+    assert s.outlier() is None
+
+
+def test_timing_series_exclude():
+    s = TimingSeries("t", [0, 1, 2], [15, 10, 10])
+    assert s.outlier(exclude=[0]) is None
+    assert s.outlier() == 0
+
+
+def test_timing_series_render_and_rows():
+    s = TimingSeries("orc", [0, 1], [10, 12])
+    assert "orc" in s.render()
+    assert s.as_rows() == [
+        {"guess": 0, "cycles": 10}, {"guess": 1, "cycles": 12}
+    ]
+
+
+# ----------------------------------------------------------------------
+# Orc attack (Fig. 2)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("secret", [0x33, 0x05, 0xFA])
+def test_orc_attack_recovers_index_on_vulnerable_design(secret):
+    result = run_orc_attack(SOC_ORC, secret)
+    assert result.success, result.series.render()
+    assert result.recovered_index == secret % SOC_ORC.config.cache_lines
+
+
+def test_orc_attack_flat_on_secure_design():
+    result = run_orc_attack(SOC_SECURE, 0x33)
+    assert result.recovered_index is None
+    assert result.series.spread() == 0
+
+
+def test_orc_attack_flat_on_meltdown_design():
+    """The Meltdown variant has no RAW-drain trap delay: the Orc timing
+    loop sees nothing."""
+    result = run_orc_attack(SOC_MELTDOWN, 0x33)
+    assert result.series.spread() == 0
+
+
+def test_orc_attack_excluded_guess_is_secret_line():
+    result = run_orc_attack(SOC_ORC, 0x33)
+    assert result.excluded_guess == SOC_ORC.secret_line_index
+    assert result.excluded_guess not in result.series.guesses
+
+
+# ----------------------------------------------------------------------
+# Meltdown-style attack (Fig. 1)
+# ----------------------------------------------------------------------
+def test_meltdown_attack_recovers_address_on_vulnerable_design():
+    secret = 0x0B  # effective address 11, outside prime region and PMP
+    result = run_meltdown_attack(SOC_MELTDOWN, secret)
+    assert result.success, result.series.render()
+
+
+def test_meltdown_attack_flat_on_secure_design():
+    result = run_meltdown_attack(SOC_SECURE, 0x0B)
+    assert result.recovered_value is None
+    assert result.series.spread() == 0
+
+
+def test_meltdown_skips_protected_and_primed_addresses():
+    result = run_meltdown_attack(SOC_MELTDOWN, 0x0B)
+    assert SOC_MELTDOWN.secret_eff_addr in result.skipped
+    assert all(g not in result.skipped for g in result.series.guesses)
+
+
+# ----------------------------------------------------------------------
+# Fig. 1: cache footprint of a squashed access
+# ----------------------------------------------------------------------
+def test_footprint_differs_on_meltdown_design():
+    diff = cache_footprint_difference(SOC_MELTDOWN, 0x0B, 0x0D)
+    assert diff  # the squashed refill left a secret-dependent footprint
+
+
+def test_footprint_identical_on_secure_design():
+    diff = cache_footprint_difference(SOC_SECURE, 0x0B, 0x0D)
+    assert diff == []

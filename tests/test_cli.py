@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_info_command(capsys):
+    assert main(["info", "orc"]) == 0
+    out = capsys.readouterr().out
+    assert "orc" in out
+    assert "state_bits" in out
+    assert "bypass" in out
+
+
+def test_info_sim_geometry(capsys):
+    assert main(["info", "secure", "--geometry", "sim"]) == 0
+    out = capsys.readouterr().out
+    assert "secure" in out
+
+
+def test_check_finds_alert_on_orc(capsys):
+    rc = main(["check", "orc", "--k", "2"])
+    out = capsys.readouterr().out
+    assert rc == 1  # P-alert exit code
+    assert "P-alert" in out
+
+
+def test_check_uncached_secure_proves(capsys):
+    rc = main(["check", "secure", "--uncached", "--k", "1"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "proved" in out
+
+
+def test_methodology_insecure_exit_code(capsys):
+    rc = main(["methodology", "orc", "--k", "2"])
+    out = capsys.readouterr().out
+    assert rc == 2
+    assert "insecure" in out
+
+
+def test_parser_rejects_unknown_variant():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["info", "bogus"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,36 @@
+"""Tests for the feasible-k exploration (Tab. I's 'Feasible k' row)."""
+
+import pytest
+
+from repro.core import UpecChecker, UpecModel, UpecScenario
+from repro.errors import UpecError
+from repro.soc import SocConfig, build_soc
+from repro.soc.config import FORMAL_CONFIG_KWARGS
+
+SOC_SECURE = build_soc(SocConfig.secure(**FORMAL_CONFIG_KWARGS))
+SOC_ORC = build_soc(SocConfig.orc(**FORMAL_CONFIG_KWARGS))
+
+
+def test_feasible_k_uncached_reaches_budget():
+    model = UpecModel(SOC_SECURE, UpecScenario(secret_in_cache=False))
+    checker = UpecChecker(model)
+    result = checker.feasible_k(time_budget_s=5.0, max_k=3)
+    assert result.proved
+    assert 1 <= result.k <= 3
+
+
+def test_feasible_k_stops_on_alert():
+    model = UpecModel(SOC_ORC, UpecScenario(secret_in_cache=True))
+    checker = UpecChecker(model)
+    result = checker.feasible_k(time_budget_s=30.0, max_k=5)
+    assert result.status == "alert"
+    assert result.alert is not None
+
+
+def test_feasible_k_budget_respected():
+    """A tiny budget still completes at least one frame, then stops."""
+    model = UpecModel(SOC_SECURE, UpecScenario(secret_in_cache=False))
+    checker = UpecChecker(model)
+    result = checker.feasible_k(time_budget_s=0.0, max_k=10)
+    assert result.proved
+    assert result.k == 1

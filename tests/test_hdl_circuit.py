@@ -1,0 +1,204 @@
+"""Unit tests for circuits, memories and structural analyses."""
+
+import pytest
+
+from repro.errors import HdlError, WidthError
+from repro.hdl import (
+    Circuit,
+    MemoryArray,
+    circuit_stats,
+    const,
+    mux,
+    node_count,
+    reg_fanin,
+    sequential_cone,
+    sequential_fanin_map,
+    topo_order,
+)
+
+
+def build_counter():
+    c = Circuit("counter")
+    en = c.input("en", 1)
+    cnt = c.reg("cnt", 8, init=0)
+    c.next(cnt, mux(en, cnt + 1, cnt))
+    c.output("value", cnt)
+    return c.finalize()
+
+
+def test_circuit_basics():
+    c = build_counter()
+    assert c.finalized
+    assert set(c.inputs) == {"en"}
+    assert set(c.regs) == {"cnt"}
+    assert set(c.outputs) == {"value"}
+    assert c.state_bits() == 8
+
+
+def test_duplicate_names_rejected():
+    c = Circuit("t")
+    c.input("x", 1)
+    with pytest.raises(HdlError):
+        c.input("x", 2)
+    with pytest.raises(HdlError):
+        c.reg("x", 2)
+
+
+def test_duplicate_output_rejected():
+    c = Circuit("t")
+    r = c.reg("r", 4)
+    c.output("o", r)
+    with pytest.raises(HdlError):
+        c.output("o", r)
+
+
+def test_double_next_rejected():
+    c = Circuit("t")
+    r = c.reg("r", 4)
+    c.next(r, r + 1)
+    with pytest.raises(HdlError):
+        c.next(r, r)
+
+
+def test_next_width_check():
+    c = Circuit("t")
+    r = c.reg("r", 4)
+    with pytest.raises(WidthError):
+        c.next(r, const(0, 8))
+
+
+def test_next_accepts_int():
+    c = Circuit("t")
+    r = c.reg("r", 4)
+    c.next(r, 7)
+    c.finalize()
+    assert r.next.is_const and r.next.value == 7
+
+
+def test_foreign_reg_rejected():
+    c1 = Circuit("a")
+    r1 = c1.reg("r", 4)
+    c2 = Circuit("b")
+    r2 = c2.reg("s", 4)
+    c2.next(r2, r2)
+    c2.output("bad", r1)
+    with pytest.raises(HdlError):
+        c2.finalize()
+
+
+def test_foreign_next_rejected():
+    c1 = Circuit("a")
+    r1 = c1.reg("r", 4)
+    with pytest.raises(HdlError):
+        Circuit("b").next(r1, r1)
+
+
+def test_finalize_defaults_to_hold():
+    c = Circuit("t")
+    r = c.reg("r", 4, init=5)
+    c.finalize()
+    assert r.next is r
+
+
+def test_finalize_idempotent():
+    c = build_counter()
+    assert c.finalize() is c
+
+
+def test_no_construction_after_finalize():
+    c = build_counter()
+    with pytest.raises(HdlError):
+        c.input("late", 1)
+
+
+def test_reg_classification():
+    c = Circuit("t")
+    c.reg("pc", 8, arch=True)
+    c.reg("buf", 8)
+    c.reg("mem0", 8, tags=("memory",))
+    c.finalize()
+    assert [r.name for r in c.arch_regs()] == ["pc"]
+    assert {r.name for r in c.logic_regs()} == {"pc", "buf"}
+    assert [r.name for r in c.regs_with_tag("memory")] == ["mem0"]
+
+
+def test_memory_array_read_write():
+    c = Circuit("m")
+    addr = c.input("addr", 2)
+    data = c.input("data", 8)
+    we = c.input("we", 1)
+    mem = MemoryArray(c, "mem", depth=4, width=8, init=0)
+    rdata = mem.read(addr)
+    mem.write(addr, data, we)
+    c.output("rdata", rdata)
+    c.finalize()
+    assert len(mem) == 4
+    assert mem[0].name == "mem[0]"
+    assert mem.addr_width() == 2
+
+
+def test_memory_array_init_list():
+    c = Circuit("m")
+    mem = MemoryArray(c, "mem", depth=3, width=8, init=[1, 2, 3])
+    assert [w.init for w in mem.words] == [1, 2, 3]
+    with pytest.raises(HdlError):
+        MemoryArray(c, "mem2", depth=3, width=8, init=[1, 2])
+
+
+def test_memory_array_errors():
+    c = Circuit("m")
+    mem = MemoryArray(c, "mem", depth=4, width=8)
+    addr = c.input("addr", 2)
+    narrow = c.input("na", 1)
+    with pytest.raises(WidthError):
+        mem.read(narrow)
+    we = c.input("we", 1)
+    mem.write(addr, 0, we)
+    with pytest.raises(HdlError):
+        mem.write(addr, 0, we)
+    with pytest.raises(HdlError):
+        MemoryArray(c, "bad", depth=0, width=8)
+
+
+def test_memory_write_enable_width():
+    c = Circuit("m")
+    mem = MemoryArray(c, "mem", depth=2, width=8)
+    addr = c.input("addr", 1)
+    wide_en = c.input("we", 2)
+    with pytest.raises(WidthError):
+        mem.write(addr, 0, wide_en)
+
+
+def test_topo_order_children_first():
+    c = build_counter()
+    order = topo_order([c.regs["cnt"].next])
+    pos = {id(n): i for i, n in enumerate(order)}
+    for node in order:
+        if node.op != "reg":
+            for arg in node.args:
+                assert pos[id(arg)] < pos[id(node)]
+
+
+def test_reg_fanin_and_cone():
+    c = Circuit("t")
+    a = c.reg("a", 4)
+    b = c.reg("b", 4)
+    d = c.reg("d", 4)
+    c.next(a, a + 1)
+    c.next(b, a)
+    c.next(d, b)
+    c.finalize()
+    assert reg_fanin(d.next) == [b]
+    cone = sequential_cone(c, [d])
+    assert cone == {a, b, d}
+    fanin = sequential_fanin_map(c)
+    assert fanin[b] == [a]
+
+
+def test_circuit_stats():
+    c = build_counter()
+    stats = circuit_stats(c)
+    assert stats["registers"] == 1
+    assert stats["state_bits"] == 8
+    assert stats["dag_nodes"] == node_count([c.regs["cnt"].next])
+    assert stats["inputs"] == 1

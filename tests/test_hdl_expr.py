@@ -1,0 +1,257 @@
+"""Unit tests for the word-level expression IR."""
+
+import pytest
+
+from repro.errors import HdlError, WidthError
+from repro.hdl import (
+    Circuit,
+    and_all,
+    cat,
+    const,
+    implies,
+    mask,
+    mux,
+    or_all,
+    repl,
+    resize,
+    select,
+    sext,
+    truncate,
+    zext,
+)
+from repro.hdl.expr import Expr, Input, Reg
+
+
+def test_const_basic():
+    c = const(5, 4)
+    assert c.is_const
+    assert c.value == 5
+    assert c.width == 4
+
+
+def test_const_negative_wraps():
+    c = const(-1, 4)
+    assert c.value == 0xF
+
+
+def test_const_too_wide_rejected():
+    with pytest.raises(WidthError):
+        const(16, 4)
+
+
+def test_const_non_int_rejected():
+    with pytest.raises(HdlError):
+        const("x", 4)
+
+
+def test_zero_width_rejected():
+    with pytest.raises(WidthError):
+        const(0, 0)
+
+
+def test_mask():
+    assert mask(1) == 1
+    assert mask(8) == 255
+
+
+def test_binary_ops_build():
+    a = Input("a", 8)
+    b = Input("b", 8)
+    for expr, op in [
+        (a + b, "add"),
+        (a - b, "sub"),
+        (a & b, "and"),
+        (a | b, "or"),
+        (a ^ b, "xor"),
+    ]:
+        assert expr.op == op
+        assert expr.width == 8
+        assert expr.args == (a, b)
+
+
+def test_int_coercion_in_binary_ops():
+    a = Input("a", 8)
+    expr = a + 1
+    assert expr.args[1].is_const
+    assert expr.args[1].width == 8
+    rexpr = 1 + a
+    assert rexpr.op == "add"
+
+
+def test_width_mismatch_rejected():
+    a = Input("a", 8)
+    b = Input("b", 4)
+    with pytest.raises(WidthError):
+        _ = a + b
+
+
+def test_compare_ops_are_one_bit():
+    a = Input("a", 8)
+    b = Input("b", 8)
+    for expr in [a.eq(b), a.ne(b), a.ult(b), a.ule(b), a.ugt(b), a.uge(b)]:
+        assert expr.width == 1
+
+
+def test_python_eq_is_identity():
+    a = Input("a", 8)
+    b = Input("b", 8)
+    assert a != b
+    assert a == a
+    # Usable as dict keys.
+    d = {a: 1, b: 2}
+    assert d[a] == 1
+
+
+def test_invert():
+    a = Input("a", 8)
+    assert (~a).op == "not"
+    assert (~a).width == 8
+
+
+def test_shifts():
+    a = Input("a", 8)
+    assert (a << 2).op == "shl"
+    assert (a >> 3).op == "lshr"
+    with pytest.raises(HdlError):
+        _ = a << -1
+
+
+def test_bit_select():
+    a = Input("a", 8)
+    bit = a[3]
+    assert bit.width == 1
+    assert bit.params == (3, 4)
+    assert a[-1].params == (7, 8)
+    with pytest.raises(WidthError):
+        _ = a[8]
+
+
+def test_slice_select():
+    a = Input("a", 8)
+    s = a[2:6]
+    assert s.width == 4
+    assert s.params == (2, 6)
+    assert a[:4].width == 4
+    assert a[4:].width == 4
+    with pytest.raises(HdlError):
+        _ = a[0:8:2]
+    with pytest.raises(WidthError):
+        _ = a[5:3]
+
+
+def test_cat_widths():
+    a = Input("a", 3)
+    b = Input("b", 5)
+    c = cat(a, b)
+    assert c.width == 8
+    assert cat(a) is a
+    with pytest.raises(HdlError):
+        cat()
+
+
+def test_repl():
+    a = Input("a", 1)
+    assert repl(a, 4).width == 4
+    with pytest.raises(WidthError):
+        repl(Input("b", 2), 2)
+    with pytest.raises(HdlError):
+        repl(a, 0)
+
+
+def test_extensions():
+    a = Input("a", 4)
+    assert zext(a, 8).width == 8
+    assert zext(a, 4) is a
+    assert sext(a, 8).width == 8
+    assert truncate(a, 2).width == 2
+    assert resize(a, 8).width == 8
+    assert resize(a, 2).width == 2
+    assert resize(a, 4) is a
+    with pytest.raises(WidthError):
+        zext(a, 2)
+    with pytest.raises(WidthError):
+        truncate(a, 8)
+
+
+def test_mux():
+    s = Input("s", 1)
+    a = Input("a", 8)
+    b = Input("b", 8)
+    m = mux(s, a, b)
+    assert m.width == 8
+    m2 = mux(s, a, 0)
+    assert m2.args[2].is_const
+    with pytest.raises(WidthError):
+        mux(a, a, b)  # select must be 1 bit
+    with pytest.raises(HdlError):
+        mux(s, 1, 2)  # width not inferable
+
+
+def test_and_or_all():
+    bits = [Input(f"b{i}", 1) for i in range(3)]
+    assert and_all(bits).width == 1
+    assert or_all(bits).width == 1
+    assert and_all([]).is_const and and_all([]).value == 1
+    assert or_all([]).is_const and or_all([]).value == 0
+    with pytest.raises(WidthError):
+        and_all([Input("w", 2)])
+
+
+def test_implies():
+    a = Input("a", 1)
+    b = Input("b", 1)
+    assert implies(a, b).width == 1
+    with pytest.raises(WidthError):
+        implies(Input("w", 2), b)
+
+
+def test_select_builds_mux_tree():
+    idx = Input("i", 2)
+    choices = [const(v, 8) for v in (10, 20, 30, 40)]
+    out = select(idx, choices)
+    assert out.width == 8
+
+
+def test_select_width_inference_failure():
+    idx = Input("i", 2)
+    with pytest.raises(HdlError):
+        select(idx, [1, 2, 3])
+
+
+def test_select_mixed_int_choices():
+    idx = Input("i", 1)
+    out = select(idx, [Input("a", 4), 7])
+    assert out.width == 4
+
+
+def test_reduction_ops():
+    a = Input("a", 8)
+    assert a.any().width == 1
+    assert a.all().width == 1
+    assert a.bool().op == "redor"
+
+
+def test_reg_attrs():
+    r = Reg("r", 8, init=3, arch=True, tags=("memory",))
+    assert r.init == 3
+    assert r.arch
+    assert "memory" in r.tags
+    assert r.next is None
+
+
+def test_reg_bad_init():
+    with pytest.raises(WidthError):
+        Reg("r", 4, init=16)
+    with pytest.raises(HdlError):
+        Reg("r", 4, init="x")
+
+
+def test_expr_value_only_for_const():
+    a = Input("a", 4)
+    with pytest.raises(HdlError):
+        _ = a.value
+
+
+def test_repr_does_not_crash():
+    a = Input("a", 4)
+    assert "a" in repr(a + 1)

@@ -1,0 +1,108 @@
+"""Tests for generic k-induction."""
+
+import pytest
+
+from repro.errors import FormalError
+from repro.formal import prove_by_induction
+from repro.hdl import Circuit, const, mux
+
+
+def test_inductive_invariant_proved_k1():
+    """A register that can only shrink stays below its bound."""
+    c = Circuit("t")
+    r = c.reg("r", 8, init=5)
+    c.next(r, mux(r.eq(0), r, r - 1))
+    c.finalize()
+    result = prove_by_induction(c, r.ule(5), k=1)
+    # r <= 5 is NOT 1-inductive (symbolic r=200 steps to 199, both >5;
+    # prop at frame 0 fails... r<=5 at frame 0 assumed; then r-1 <= 5 ok).
+    assert result.proved
+    assert "proved" in result.describe()
+
+
+def test_base_case_failure():
+    c = Circuit("t")
+    r = c.reg("r", 8, init=9)
+    c.next(r, r)
+    c.finalize()
+    result = prove_by_induction(c, r.ule(5), k=2)
+    assert not result.proved
+    assert result.failed_case == "base"
+    assert result.base is not None and not result.base.holds
+
+
+def test_step_case_failure_with_witness():
+    """A true-but-not-inductive property fails the step with a witness.
+
+    The counter wraps modulo 4 (bits [1:0] only); 'r != 3' holds from
+    reset=0? No: 0,1,2,3 — it is simply false; use a property that holds
+    for k cycles but is not inductive: parity tricks.  Simplest: r != 200
+    holds from reset for a slow counter but the symbolic step from r=199
+    violates it.
+    """
+    c = Circuit("t")
+    r = c.reg("r", 8, init=0)
+    c.next(r, mux(r.eq(100), r, r + 1))   # saturates at 100
+    c.finalize()
+    # r != 90 is false eventually (reachable) -> base fails at k>=90 is
+    # impractical; instead prove r <= 100, which IS inductive:
+    good = prove_by_induction(c, r.ule(100), k=1)
+    assert good.proved
+    # r <= 99 holds for small k from reset but is not inductive (r=99
+    # steps to 100): the step case must fail with a witness at r=99.
+    bad = prove_by_induction(c, r.ule(99), k=1)
+    assert not bad.proved
+    assert bad.failed_case == "step"
+    assert bad.step_witness is not None
+    assert bad.step_witness.frames[0]["r"] == 99
+
+
+def test_larger_k_strengthens():
+    """A property that needs history: a two-register swap where the bad
+    state's only predecessor is itself bad — k=1 admits the spurious
+    predecessor, k=2 rules it out."""
+    c = Circuit("t")
+    a = c.reg("a", 1, init=0)
+    b = c.reg("b", 1, init=0)
+    c.next(a, b)
+    c.next(b, a)
+    c.finalize()
+    prop = ~(a & ~b)   # state (1,0) never occurs from reset (0,0)
+    weak = prove_by_induction(c, prop, k=1)
+    assert not weak.proved and weak.failed_case == "step"
+    strong = prove_by_induction(c, prop, k=2)
+    assert strong.proved
+
+
+def test_assumptions_constrain_the_step():
+    c = Circuit("t")
+    x = c.input("x", 8)
+    r = c.reg("r", 8, init=0)
+    c.next(r, x)
+    c.finalize()
+    # Without assumptions r can become anything.
+    free = prove_by_induction(c, r.ule(10), k=1)
+    assert not free.proved
+    bounded = prove_by_induction(c, r.ule(10), k=1, assumptions=[x.ule(10)])
+    assert bounded.proved
+
+
+def test_property_width_check():
+    c = Circuit("t")
+    r = c.reg("r", 8, init=0)
+    c.finalize()
+    with pytest.raises(FormalError):
+        prove_by_induction(c, r + 1, k=1)
+
+
+def test_monitor_invariants_are_inductive_on_the_soc():
+    """The cache monitor (Constraint 2) is a real invariant: provable by
+    1-induction on the SoC itself — justifying its use as a proof
+    assumption."""
+    from repro.core import cache_protocol_ok
+    from repro.soc import SocConfig, build_soc
+    from repro.soc.config import FORMAL_CONFIG_KWARGS
+
+    soc = build_soc(SocConfig.secure(**FORMAL_CONFIG_KWARGS))
+    result = prove_by_induction(soc.circuit, cache_protocol_ok(soc), k=1)
+    assert result.proved, result.describe()

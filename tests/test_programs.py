@@ -1,0 +1,130 @@
+"""Tests for the program templates (boot, handler, attack sequences)."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.soc import Iss, SocConfig, SocSim, build_soc
+from repro.soc import isa
+from repro.soc.config import SIM_CONFIG_KWARGS
+from repro.soc.programs import (
+    TRAP_VECTOR,
+    boot_code,
+    build_image,
+    meltdown_sequence,
+    orc_sequence,
+    trap_handler,
+)
+
+CFG = SocConfig.secure(**SIM_CONFIG_KWARGS)
+SOC = build_soc(CFG)
+
+
+def test_trap_handler_skips_faulting_instruction():
+    handler = trap_handler()
+    assert len(handler) == 4
+    assert handler[-1].opcode == isa.OP_MRET
+
+
+def test_boot_code_protects_and_enters_user_mode():
+    user = [isa.li(3, 1), isa.jal(0, 0)]
+    image = build_image(CFG, user)
+    sim = SocSim(SOC, image.words)
+    sim.run_until_halt(image.halt_pc, max_cycles=2000)
+    state = sim.arch_state()
+    assert state["mode"] == isa.MODE_USER
+    assert state["pmpcfg1"] & isa.PMP_A
+    assert state["pmpcfg1"] & isa.PMP_L
+    secret_eff = CFG.secret_addr % CFG.dmem_words
+    assert state["pmpaddr0"] == secret_eff
+    assert state["pmpaddr1"] == secret_eff
+    assert sim.reg(3) == 1
+
+
+def test_boot_primes_secret_line():
+    user = [isa.jal(0, 0)]
+    image = build_image(CFG, user, prime_secret=True)
+    memory = [0] * CFG.dmem_words
+    memory[SOC.secret_eff_addr] = 0x5C
+    sim = SocSim(SOC, image.words, memory=memory)
+    sim.run_until_halt(image.halt_pc, max_cycles=2000)
+    line = sim.cache_line(SOC.secret_line_index)
+    assert line["valid"] == 1
+    assert line["tag"] == SOC.secret_line_tag
+    assert line["data"] == 0x5C
+
+
+def test_boot_without_priming():
+    user = [isa.jal(0, 0)]
+    image = build_image(CFG, user, prime_secret=False)
+    sim = SocSim(SOC, image.words)
+    sim.run_until_halt(image.halt_pc, max_cycles=2000)
+    line = sim.cache_line(SOC.secret_line_index)
+    assert not (line["valid"] == 1 and line["tag"] == SOC.secret_line_tag)
+
+
+def test_image_requires_halt_loop():
+    with pytest.raises(IsaError):
+        build_image(CFG, [isa.li(1, 1)])
+
+
+def test_image_requires_matching_trap_vector():
+    bad_cfg = SocConfig.secure(trap_vector=3, **{
+        k: v for k, v in SIM_CONFIG_KWARGS.items()
+    })
+    with pytest.raises(IsaError):
+        build_image(bad_cfg, [isa.jal(0, 0)])
+    assert TRAP_VECTOR == 1
+
+
+def test_image_size_check():
+    small = SocConfig.secure()
+    too_big = [isa.nop()] * (small.imem_words) + [isa.jal(0, 0)]
+    with pytest.raises(IsaError):
+        build_image(small, too_big)
+
+
+def test_orc_sequence_validation():
+    with pytest.raises(IsaError):
+        orc_sequence(CFG, guess=CFG.cache_lines)
+    with pytest.raises(IsaError):
+        orc_sequence(CFG, guess=0, array_base=1)  # unaligned
+    seq = orc_sequence(CFG, guess=3)
+    opcodes = [i.opcode for i in seq]
+    assert opcodes.count(isa.OP_LB) == 3   # prime + illegal + dependent
+    assert isa.OP_SB in opcodes
+    assert opcodes[-1] == isa.OP_JAL
+
+
+def test_meltdown_sequence_structure():
+    seq = meltdown_sequence(CFG, probe_addr=5, prime_base=16)
+    opcodes = [i.opcode for i in seq]
+    # Primes all lines but the secret's, plus illegal + dependent + probe.
+    assert opcodes.count(isa.OP_LB) == (CFG.cache_lines - 1) + 3
+    assert opcodes[-1] == isa.OP_JAL
+
+
+def test_meltdown_sequence_line_limit():
+    big = SocConfig.secure(
+        imem_words=128, dmem_words=128, cache_lines=64,
+        write_pending_cycles=4, miss_latency=4, secret_addr=100,
+    )
+    with pytest.raises(IsaError):
+        meltdown_sequence(big, probe_addr=0, prime_base=0)
+
+
+def test_image_matches_iss_execution():
+    """The full boot+handler+user image runs identically on RTL and ISS."""
+    user = [
+        isa.li(2, 3),
+        isa.sb(2, 0, 2),
+        isa.lb(3, 0, 2),
+        isa.jal(0, 0),
+    ]
+    image = build_image(CFG, user)
+    sim = SocSim(SOC, image.words)
+    sim.run_until_halt(image.halt_pc, max_cycles=3000)
+    iss = Iss(CFG, image.words)
+    iss.run(3000, stop_pc=image.halt_pc)
+    assert iss.pc == image.halt_pc
+    for i in range(1, isa.NUM_REGS):
+        assert sim.reg(i) == iss.regs[i], f"x{i}"

@@ -1,0 +1,273 @@
+"""Unit and property tests for the cycle-accurate simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.hdl import Circuit, cat, const, mux, select, sext, zext
+from repro.sim import Simulator, Trace, TracingSimulator
+
+
+def build_counter():
+    c = Circuit("counter")
+    en = c.input("en", 1)
+    cnt = c.reg("cnt", 8, init=0)
+    c.next(cnt, mux(en, cnt + 1, cnt))
+    c.output("value", cnt)
+    return c.finalize()
+
+
+def test_counter_counts():
+    sim = Simulator(build_counter())
+    for expected in range(5):
+        out = sim.step({"en": 1})
+        assert out["value"] == expected
+    out = sim.step({"en": 0})
+    assert out["value"] == 5
+    assert sim.peek("cnt") == 5
+    assert sim.cycle == 6
+
+
+def test_counter_wraps():
+    sim = Simulator(build_counter(), init_overrides={"cnt": 255})
+    sim.step({"en": 1})
+    assert sim.peek("cnt") == 0
+
+
+def test_missing_input_rejected():
+    sim = Simulator(build_counter())
+    with pytest.raises(SimulationError):
+        sim.step({})
+
+
+def test_unknown_input_rejected():
+    sim = Simulator(build_counter())
+    with pytest.raises(SimulationError):
+        sim.step({"en": 1, "bogus": 0})
+
+
+def test_unknown_override_rejected():
+    with pytest.raises(SimulationError):
+        Simulator(build_counter(), init_overrides={"nope": 1})
+
+
+def test_symbolic_init_defaults_to_zero():
+    c = Circuit("t")
+    r = c.reg("r", 8, init=None)
+    c.finalize()
+    sim = Simulator(c)
+    assert sim.peek(r) == 0
+    sim2 = Simulator(c, init_overrides={"r": 42})
+    assert sim2.peek(r) == 42
+
+
+def test_poke_and_snapshot():
+    sim = Simulator(build_counter())
+    sim.poke("cnt", 99)
+    assert sim.snapshot()["cnt"] == 99
+    with pytest.raises(SimulationError):
+        sim.poke("missing", 0)
+
+
+def test_eval_with_explicit_inputs():
+    c = Circuit("t")
+    a = c.input("a", 8)
+    r = c.reg("r", 8, init=7)
+    c.next(r, r)
+    c.finalize()
+    sim = Simulator(c)
+    assert sim.eval(r + a, inputs={"a": 3}) == 10
+
+
+def test_eval_missing_input():
+    c = Circuit("t")
+    a = c.input("a", 8)
+    c.finalize()
+    sim = Simulator(c)
+    with pytest.raises(SimulationError):
+        sim.eval(a + 1)
+
+
+def test_peek_output_and_unknown():
+    sim = Simulator(build_counter())
+    sim.step({"en": 1})
+    assert sim.peek("value") == 0  # sampled before the clock edge
+    with pytest.raises(SimulationError):
+        sim.peek("bogus")
+
+
+def test_run_until():
+    sim = Simulator(build_counter())
+    executed = sim.run(100, {"en": 1}, until=lambda s: s.peek("cnt") == 10)
+    assert executed == 10
+    assert sim.peek("cnt") == 10
+
+
+def test_registers_commit_simultaneously():
+    """Swap two registers every cycle — classic simultaneity check."""
+    c = Circuit("swap")
+    a = c.reg("a", 4, init=1)
+    b = c.reg("b", 4, init=2)
+    c.next(a, b)
+    c.next(b, a)
+    c.finalize()
+    sim = Simulator(c)
+    sim.step()
+    assert (sim.peek("a"), sim.peek("b")) == (2, 1)
+    sim.step()
+    assert (sim.peek("a"), sim.peek("b")) == (1, 2)
+
+
+OPS = {
+    "add": lambda x, y, w: (x + y) & ((1 << w) - 1),
+    "sub": lambda x, y, w: (x - y) & ((1 << w) - 1),
+    "and": lambda x, y, w: x & y,
+    "or": lambda x, y, w: x | y,
+    "xor": lambda x, y, w: x ^ y,
+    "eq": lambda x, y, w: int(x == y),
+    "ult": lambda x, y, w: int(x < y),
+    "ule": lambda x, y, w: int(x <= y),
+    "ne": lambda x, y, w: int(x != y),
+}
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.sampled_from(sorted(OPS)),
+    st.integers(min_value=0, max_value=255),
+    st.integers(min_value=0, max_value=255),
+)
+def test_operator_semantics_match_python(op, x, y):
+    c = Circuit("ops")
+    a = c.input("a", 8)
+    b = c.input("b", 8)
+    builders = {
+        "add": lambda: a + b,
+        "sub": lambda: a - b,
+        "and": lambda: a & b,
+        "or": lambda: a | b,
+        "xor": lambda: a ^ b,
+        "eq": lambda: a.eq(b),
+        "ult": lambda: a.ult(b),
+        "ule": lambda: a.ule(b),
+        "ne": lambda: a.ne(b),
+    }
+    c.output("o", builders[op]())
+    c.finalize()
+    sim = Simulator(c)
+    out = sim.step({"a": x, "b": y})
+    assert out["o"] == OPS[op](x, y, 8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=255))
+def test_slice_cat_roundtrip(x):
+    c = Circuit("t")
+    a = c.input("a", 8)
+    c.output("lo", a[0:4])
+    c.output("hi", a[4:8])
+    c.output("cat", cat(a[0:4], a[4:8]))
+    c.output("bit7", a[7])
+    c.finalize()
+    sim = Simulator(c)
+    out = sim.step({"a": x})
+    assert out["lo"] == x & 0xF
+    assert out["hi"] == x >> 4
+    assert out["cat"] == x
+    assert out["bit7"] == x >> 7
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=15))
+def test_extension_semantics(x):
+    c = Circuit("t")
+    a = c.input("a", 4)
+    c.output("z", zext(a, 8))
+    c.output("s", sext(a, 8))
+    c.finalize()
+    sim = Simulator(c)
+    out = sim.step({"a": x})
+    assert out["z"] == x
+    expected_sext = x | 0xF0 if x & 8 else x
+    assert out["s"] == expected_sext
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=7))
+def test_shift_semantics(x, amount):
+    c = Circuit("t")
+    a = c.input("a", 8)
+    c.output("l", a << amount)
+    c.output("r", a >> amount)
+    c.finalize()
+    sim = Simulator(c)
+    out = sim.step({"a": x})
+    assert out["l"] == (x << amount) & 0xFF
+    assert out["r"] == x >> amount
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=3), st.lists(
+    st.integers(min_value=0, max_value=255), min_size=4, max_size=4))
+def test_select_semantics(idx, choices):
+    c = Circuit("t")
+    i = c.input("i", 2)
+    c.output("o", select(i, [const(v, 8) for v in choices]))
+    c.finalize()
+    sim = Simulator(c)
+    assert sim.step({"i": idx})["o"] == choices[idx]
+
+
+def test_reduction_semantics():
+    c = Circuit("t")
+    a = c.input("a", 4)
+    c.output("any", a.any())
+    c.output("all", a.all())
+    c.finalize()
+    sim = Simulator(c)
+    assert sim.step({"a": 0}) == {"any": 0, "all": 0}
+    assert sim.step({"a": 5}) == {"any": 1, "all": 0}
+    assert sim.step({"a": 15}) == {"any": 1, "all": 1}
+
+
+def test_memory_array_simulation():
+    from repro.hdl import MemoryArray
+
+    c = Circuit("m")
+    addr = c.input("addr", 2)
+    data = c.input("data", 8)
+    we = c.input("we", 1)
+    mem = MemoryArray(c, "mem", depth=4, width=8, init=[10, 20, 30, 40])
+    c.output("rdata", mem.read(addr))
+    mem.write(addr, data, we)
+    c.finalize()
+    sim = Simulator(c)
+    out = sim.step({"addr": 2, "data": 0, "we": 0})
+    assert out["rdata"] == 30
+    sim.step({"addr": 2, "data": 99, "we": 1})
+    out = sim.step({"addr": 2, "data": 0, "we": 0})
+    assert out["rdata"] == 99
+    # Other words untouched.
+    assert sim.step({"addr": 1, "data": 0, "we": 0})["rdata"] == 20
+
+
+def test_trace_records_and_renders():
+    sim = Simulator(build_counter())
+    tsim = TracingSimulator(sim, ["cnt"])
+    tsim.run(3, {"en": 1})
+    assert tsim.trace.column("cnt") == [0, 1, 2, 3]
+    text = tsim.trace.render()
+    assert "cnt" in text
+    assert len(tsim.trace) == 4
+
+
+def test_trace_empty_render():
+    tr = Trace(["x"])
+    assert tr.render() == "(empty trace)"
+
+
+def test_trace_decimal_base():
+    tr = Trace(["x"])
+    tr.record({"x": 11})
+    assert "11" in tr.render(base="dec")

@@ -1,0 +1,93 @@
+"""Compiled simulator must agree exactly with the interpreter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.hdl import Circuit, MemoryArray, cat, mux, select, sext
+from repro.sim import Simulator
+from repro.sim.compile import CompiledSimulator, compile_circuit
+
+
+def build_mixed_circuit():
+    c = Circuit("mixed")
+    x = c.input("x", 8)
+    a = c.reg("a", 8, init=3)
+    b = c.reg("b", 4, init=0)
+    mem = MemoryArray(c, "m", depth=4, width=8, init=[1, 2, 3, 4])
+    rdata = mem.read(b[0:2])
+    mem.write(b[0:2], a, x[0])
+    c.next(a, mux(x[7], a + x, (a - 1) ^ rdata))
+    c.next(b, cat(a[0], a.ult(x), b[0], a.any()))
+    c.output("o1", sext(b, 8) + a)
+    c.output("o2", rdata)
+    return c.finalize()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 255), min_size=1, max_size=20))
+def test_compiled_matches_interpreter(xs):
+    circuit = build_mixed_circuit()
+    interp = Simulator(circuit)
+    fast = CompiledSimulator(circuit)
+    for x in xs:
+        out_i = interp.step({"x": x})
+        out_c = fast.step({"x": x})
+        assert out_i == out_c
+        assert interp.snapshot() == fast.snapshot()
+
+
+def test_compiled_soc_matches_interpreter():
+    from repro.soc import SocConfig, build_soc
+    from repro.soc import isa
+
+    soc = build_soc(SocConfig.secure())
+    program = [i.encode() for i in [
+        isa.li(1, 7), isa.li(2, 3), isa.sb(1, 0, 2), isa.lb(3, 0, 2),
+        isa.add(4, 3, 1), isa.bne(4, 0, 2), isa.li(5, 9), isa.jal(0, 0),
+    ]]
+    overrides = {f"imem[{i}]": w for i, w in enumerate(program)}
+    interp = Simulator(soc.circuit, init_overrides=dict(overrides))
+    fast = CompiledSimulator(soc.circuit, init_overrides=dict(overrides))
+    for _ in range(80):
+        out_i = interp.step()
+        out_c = fast.step()
+        assert out_i == out_c
+    assert interp.snapshot() == fast.snapshot()
+
+
+def test_compiled_init_overrides_and_peek():
+    circuit = build_mixed_circuit()
+    fast = CompiledSimulator(circuit, init_overrides={"a": 9})
+    assert fast.peek("a") == 9
+    with pytest.raises(SimulationError):
+        fast.peek("zz")
+    with pytest.raises(SimulationError):
+        CompiledSimulator(circuit, init_overrides={"zz": 0})
+
+
+def test_compiled_run_until():
+    c = Circuit("cnt")
+    r = c.reg("r", 8, init=0)
+    c.next(r, r + 1)
+    c.finalize()
+    fast = CompiledSimulator(c)
+    executed = fast.run(100, until=lambda s: s.peek("r") == 7)
+    assert executed == 7
+
+
+def test_compile_cache_reuses_function():
+    circuit = build_mixed_circuit()
+    s1 = CompiledSimulator(circuit)
+    s2 = CompiledSimulator(circuit)
+    assert s1._step is s2._step
+
+
+def test_compile_function_direct():
+    circuit = build_mixed_circuit()
+    step, regs = compile_circuit(circuit)
+    state = [r.init or 0 for r in regs]
+    next_state, outputs = step(state, {"x": 0})
+    assert len(next_state) == len(regs)
+    assert set(outputs) == {"o1", "o2"}

@@ -1,0 +1,316 @@
+"""Unit tests for the RV8 ISA: encode/decode, assembler, ISS semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IsaError
+from repro.soc import isa
+from repro.soc.assembler import assemble, disassemble
+from repro.soc.config import SocConfig
+from repro.soc.iss import Iss
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+def test_encode_decode_roundtrip_examples():
+    cases = [
+        isa.nop(),
+        isa.li(3, 200),
+        isa.addi(1, 2, -5),
+        isa.add(1, 2, 3),
+        isa.sub(4, 5, 6),
+        isa.and_(7, 1, 2),
+        isa.or_(1, 1, 1),
+        isa.xor(2, 3, 4),
+        isa.sltu(5, 6, 7),
+        isa.lb(4, 3, 1),
+        isa.sb(4, -2, 1),
+        isa.beq(1, 2, -4),
+        isa.bne(3, 4, 7),
+        isa.jal(1, 5),
+        isa.csrr(2, isa.CSR_CYCLE),
+        isa.csrw(isa.CSR_PMPADDR0, 3),
+        isa.mret(),
+        isa.ecall(),
+    ]
+    for instr in cases:
+        word = instr.encode()
+        back = isa.decode(word)
+        assert back.encode() == word, str(instr)
+        assert back.opcode == instr.opcode
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=0, max_value=0xFFFF))
+def test_decode_encode_is_stable(word):
+    """decode->encode->decode is a fixpoint for every 16-bit word."""
+    first = isa.decode(word)
+    second = isa.decode(first.encode())
+    assert first.encode() == second.encode()
+
+
+def test_simm_sign_extension():
+    assert isa.addi(1, 0, -1).simm == -1
+    assert isa.addi(1, 0, 31).simm == 31
+    assert isa.addi(1, 0, -32).simm == -32
+
+
+def test_sign_extend_helper():
+    assert isa.sign_extend(0x3F, 6) == 0xFF
+    assert isa.sign_extend(0x1F, 6) == 0x1F
+    assert isa.sign_extend(0x20, 6) == 0xE0
+
+
+def test_constructor_range_checks():
+    with pytest.raises(IsaError):
+        isa.li(8, 0)
+    with pytest.raises(IsaError):
+        isa.li(1, 300)
+    with pytest.raises(IsaError):
+        isa.addi(1, 1, 40)
+    with pytest.raises(IsaError):
+        isa.csrr(1, 0x3F)
+    with pytest.raises(IsaError):
+        isa.decode(1 << 16)
+
+
+def test_str_rendering():
+    assert str(isa.nop()) == "nop"
+    assert "li x1" in str(isa.li(1, 7))
+    assert "add" in str(isa.add(1, 2, 3))
+    assert "csrr" in str(isa.csrr(1, isa.CSR_CYCLE))
+    assert "mret" in str(isa.mret())
+
+
+# ----------------------------------------------------------------------
+# Assembler
+# ----------------------------------------------------------------------
+def test_assemble_with_labels():
+    words = assemble([
+        isa.li(1, 3),
+        "loop:",
+        isa.addi(1, 1, -1),
+        ("bne", 1, 0, "loop"),
+        isa.jal(0, 0),
+    ])
+    assert len(words) == 4
+    branch = isa.decode(words[2])
+    assert branch.opcode == isa.OP_BNE
+    assert branch.simm == -1
+
+
+def test_assemble_forward_label_and_jal():
+    words = assemble([
+        ("jal", 0, "end"),
+        isa.nop(),
+        "end:",
+        isa.jal(0, 0),
+    ])
+    assert isa.decode(words[0]).simm == 2
+
+
+def test_assemble_errors():
+    with pytest.raises(IsaError):
+        assemble(["noncolon"])
+    with pytest.raises(IsaError):
+        assemble(["a:", "a:", isa.nop()])
+    with pytest.raises(IsaError):
+        assemble([("bne", 1, 0, "missing")])
+    with pytest.raises(IsaError):
+        assemble([("frobnicate", 1)])
+    with pytest.raises(IsaError):
+        assemble([42])
+
+
+def test_disassemble():
+    listing = disassemble(assemble([isa.li(1, 5), isa.jal(0, 0)]))
+    assert len(listing) == 2
+    assert "li x1, 5" in listing[0]
+
+
+# ----------------------------------------------------------------------
+# ISS semantics
+# ----------------------------------------------------------------------
+def make_iss(code, memory=None, mode=isa.MODE_MACHINE, config=None):
+    config = config or SocConfig.secure()
+    return Iss(config, [i.encode() for i in code], memory=memory, mode=mode)
+
+
+def test_iss_x0_hardwired():
+    iss = make_iss([isa.li(0, 5), isa.jal(0, 0)])
+    iss.step()
+    assert iss.regs[0] == 0
+
+
+def test_iss_arithmetic_wraps():
+    iss = make_iss([isa.li(1, 200), isa.li(2, 100), isa.add(3, 1, 2)])
+    iss.run(3)
+    assert iss.regs[3] == (200 + 100) & 0xFF
+
+
+def test_iss_sltu():
+    iss = make_iss([isa.li(1, 2), isa.li(2, 3), isa.sltu(3, 1, 2), isa.sltu(4, 2, 1)])
+    iss.run(4)
+    assert iss.regs[3] == 1
+    assert iss.regs[4] == 0
+
+
+def test_iss_load_store_roundtrip():
+    iss = make_iss([isa.li(1, 0x55), isa.li(2, 6), isa.sb(1, 1, 2), isa.lb(3, 1, 2)])
+    iss.run(4)
+    assert iss.load(7) == 0x55
+    assert iss.regs[3] == 0x55
+
+
+def test_iss_memory_wraps():
+    config = SocConfig.secure()
+    iss = make_iss([isa.li(1, 0x12), isa.li(2, config.dmem_words), isa.sb(1, 0, 2)])
+    iss.run(3)
+    assert iss.load(0) == 0x12  # address dmem_words aliases to 0
+
+
+def test_iss_branches():
+    iss = make_iss([
+        isa.li(1, 1),
+        isa.beq(1, 0, 2),    # not taken
+        isa.bne(1, 0, 2),    # taken, skips the li below
+        isa.li(2, 99),
+        isa.li(3, 1),
+    ])
+    iss.run(4)
+    assert iss.regs[2] == 0
+    assert iss.regs[3] == 1
+
+
+def test_iss_jal_links():
+    iss = make_iss([isa.jal(1, 2), isa.nop(), isa.li(2, 1)])
+    iss.step()
+    assert iss.regs[1] == 1
+    assert iss.pc == 2
+
+
+def test_iss_pmp_fault_traps():
+    config = SocConfig.secure()
+    secret = config.secret_addr
+    code = [
+        isa.li(1, secret),
+        isa.csrw(isa.CSR_PMPADDR0, 1),
+        isa.csrw(isa.CSR_PMPADDR1, 1),
+        isa.li(2, isa.PMP_A),
+        isa.csrw(isa.CSR_PMPCFG1, 2),
+        isa.li(3, 7),
+        isa.csrw(isa.CSR_MEPC, 3),
+        isa.mret(),
+        isa.lb(4, 0, 1),     # pc=7? adjust below
+    ]
+    # pc 7 after mret is the lb at index 8; fix mepc target:
+    code[6] = isa.csrw(isa.CSR_MEPC, 3)
+    code[5] = isa.li(3, 8)
+    iss = make_iss(code)
+    iss.run(8)
+    assert iss.mode == isa.MODE_USER
+    iss.step()  # the illegal load
+    assert iss.mode == isa.MODE_MACHINE
+    assert iss.mcause == isa.CAUSE_LOAD_FAULT
+    assert iss.mepc == 8
+    assert iss.pc == iss.config.trap_vector
+    assert iss.regs[4] == 0  # load did not complete
+    assert iss.trap_count == 1
+
+
+def test_iss_pmp_store_fault_cause():
+    config = SocConfig.secure()
+    iss = make_iss([isa.li(1, config.secret_addr), isa.sb(1, 0, 1)])
+    iss.csr[isa.CSR_PMPADDR0] = config.secret_addr
+    iss.csr[isa.CSR_PMPADDR1] = config.secret_addr
+    iss.csr[isa.CSR_PMPCFG1] = isa.PMP_A
+    iss.mode = isa.MODE_USER
+    iss.run(2)
+    assert iss.mcause == isa.CAUSE_STORE_FAULT
+
+
+def test_iss_machine_mode_bypasses_pmp():
+    config = SocConfig.secure()
+    iss = make_iss(
+        [isa.li(1, config.secret_addr), isa.lb(2, 0, 1)],
+        memory=[0] * config.secret_addr + [0xAB],
+    )
+    iss.csr[isa.CSR_PMPADDR0] = config.secret_addr
+    iss.csr[isa.CSR_PMPADDR1] = config.secret_addr
+    iss.csr[isa.CSR_PMPCFG1] = isa.PMP_A
+    iss.run(2)
+    assert iss.regs[2] == 0xAB
+
+
+def test_iss_ecall_and_mret():
+    iss = make_iss([isa.ecall()])
+    iss.step()
+    assert iss.mcause == isa.CAUSE_ECALL
+    assert iss.mepc == 0
+    assert iss.mode == isa.MODE_MACHINE
+
+
+def test_iss_user_mret_is_noop():
+    iss = make_iss([isa.mret(), isa.li(1, 1)], mode=isa.MODE_USER)
+    iss.step()
+    assert iss.mode == isa.MODE_USER
+    assert iss.pc == 1
+
+
+def test_iss_user_csrw_ignored():
+    iss = make_iss([isa.li(1, 5), isa.csrw(isa.CSR_PMPADDR0, 1)],
+                   mode=isa.MODE_USER)
+    iss.run(2)
+    assert iss.csr[isa.CSR_PMPADDR0] == 0
+
+
+def test_iss_csr_read_cycle():
+    iss = make_iss([isa.csrr(1, isa.CSR_CYCLE)])
+    iss.step(cycle_value=0x1234)
+    assert iss.regs[1] == 0x34  # low byte
+
+
+def test_iss_pmp_lock_blocks_writes():
+    iss = make_iss([isa.nop()])
+    iss.csr_write(isa.CSR_PMPCFG1, isa.PMP_A | isa.PMP_L)
+    iss.csr_write(isa.CSR_PMPADDR1, 10)   # locked: ignored
+    assert iss.csr[isa.CSR_PMPADDR1] == 0
+    iss.csr_write(isa.CSR_PMPCFG1, 0)     # locked: ignored
+    assert iss.csr[isa.CSR_PMPCFG1] == isa.PMP_A | isa.PMP_L
+
+
+def test_iss_tor_lock_rule_compliant_vs_buggy():
+    """The Sec. VII-C rule: a locked TOR end entry locks pmpaddr0."""
+    compliant = make_iss([isa.nop()])
+    compliant.csr_write(isa.CSR_PMPCFG1, isa.PMP_A | isa.PMP_L)
+    compliant.csr_write(isa.CSR_PMPADDR0, 20)
+    assert compliant.csr[isa.CSR_PMPADDR0] == 0  # write ignored
+
+    buggy = Iss(SocConfig.pmp_bug(), [isa.nop().encode()])
+    buggy.csr_write(isa.CSR_PMPCFG1, isa.PMP_A | isa.PMP_L)
+    buggy.csr_write(isa.CSR_PMPADDR0, 20)
+    assert buggy.csr[isa.CSR_PMPADDR0] == 20  # incompliance
+
+
+def test_iss_cfg0_lock_blocks_addr0():
+    iss = make_iss([isa.nop()])
+    iss.csr_write(isa.CSR_PMPCFG0, isa.PMP_L)
+    iss.csr_write(isa.CSR_PMPADDR0, 9)
+    assert iss.csr[isa.CSR_PMPADDR0] == 0
+
+
+def test_iss_program_too_large():
+    config = SocConfig.secure()
+    with pytest.raises(IsaError):
+        Iss(config, [0] * (config.imem_words + 1))
+
+
+def test_iss_arch_state_snapshot():
+    iss = make_iss([isa.li(1, 5)])
+    iss.step()
+    state = iss.arch_state().as_dict()
+    assert state["x1"] == 5
+    assert state["pc"] == 1
+    assert state["mode"] == isa.MODE_MACHINE

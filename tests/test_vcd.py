@@ -1,0 +1,78 @@
+"""Tests for VCD waveform export."""
+
+import io
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hdl import Circuit, mux
+from repro.sim import Simulator, VcdWriter, dump_vcd
+from repro.sim.vcd import _identifier
+
+
+def build_counter():
+    c = Circuit("counter")
+    cnt = c.reg("cnt", 8, init=0)
+    flag = c.reg("flag", 1, init=0)
+    c.next(cnt, cnt + 1)
+    c.next(flag, cnt[0])
+    return c.finalize()
+
+
+def test_identifier_uniqueness():
+    idents = {_identifier(i) for i in range(500)}
+    assert len(idents) == 500
+
+
+def test_vcd_header_and_samples():
+    buf = io.StringIO()
+    sim = Simulator(build_counter())
+    dump_vcd(sim, buf, ["cnt", "flag"], cycles=4)
+    text = buf.getvalue()
+    assert "$timescale" in text
+    assert "$var wire 8" in text
+    assert "$var wire 1" in text
+    assert "$enddefinitions" in text
+    assert "#0" in text and "#3" in text
+
+
+def test_vcd_emits_only_changes():
+    buf = io.StringIO()
+    c = Circuit("t")
+    r = c.reg("r", 4, init=7)
+    c.finalize()  # r holds forever
+    sim = Simulator(c)
+    dump_vcd(sim, buf, ["r"], cycles=5)
+    text = buf.getvalue()
+    # Only the initial sample carries a value change.
+    assert text.count("b111 ") == 1
+
+
+def test_vcd_unknown_signal_rejected():
+    sim = Simulator(build_counter())
+    with pytest.raises(SimulationError):
+        dump_vcd(sim, io.StringIO(), ["nope"], cycles=1)
+
+
+def test_vcd_writer_requires_signals():
+    with pytest.raises(SimulationError):
+        VcdWriter(io.StringIO(), {})
+
+
+def test_vcd_bracket_names_sanitized():
+    buf = io.StringIO()
+    writer = VcdWriter(buf, {"mem[0]": 8})
+    assert "mem(0)" in buf.getvalue()
+
+
+def test_vcd_on_soc():
+    from repro.soc import SocConfig, SocSim
+    from repro.soc import isa
+
+    sim = SocSim.from_config(
+        SocConfig.secure(),
+        [i.encode() for i in [isa.li(1, 3), isa.jal(0, 0)]],
+    )
+    buf = io.StringIO()
+    dump_vcd(sim.sim, buf, ["pc", "x1", "mode"], cycles=10)
+    assert "$var" in buf.getvalue()
