@@ -3,13 +3,18 @@
 Not a paper table — these quantify the substrate the UPEC runtimes rest
 on (our pure-Python CDCL vs. the paper's commercial checker), so the
 absolute runtime differences in Tab. I/II are interpretable.
+
+The ``preprocess`` and ``upec-sat`` groups pair each instance family with
+a raw-CNF and a simplified run, so the payoff of the SatELite-style
+pre-/inprocessor (``repro.formal.preprocess``) is measured directly on
+the clause shapes the engine actually emits.
 """
 
 import random
 
 import pytest
 
-from repro.formal import Aig, BmcEngine, CdclSolver
+from repro.formal import Aig, BmcEngine, CdclSolver, SimplifyingSolver
 from repro.hdl import Circuit, mux
 from repro.sim import Simulator
 from repro.soc import SocConfig, build_soc
@@ -78,6 +83,131 @@ def test_bmc_counter_proof(benchmark):
         assert engine.check_always(cnt.ne(50), k=20).holds
 
     benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+# ----------------------------------------------------------------------
+# Preprocessing instance families (raw CDCL vs. simplified)
+# ----------------------------------------------------------------------
+class _CnfBuilder:
+    """Tiny Tseitin emitter for hand-built benchmark circuits."""
+
+    def __init__(self):
+        self.nvars = 0
+        self.clauses = []
+
+    def var(self):
+        self.nvars += 1
+        return self.nvars
+
+    def xor(self, a, b):
+        v = self.var()
+        self.clauses.extend(
+            [[-v, a, b], [-v, -a, -b], [v, -a, b], [v, a, -b]])
+        return v
+
+
+def parity_miter_cnf(n):
+    """Left-fold vs. balanced-tree parity of the same bits, forced to
+    differ: UNSAT, and every gate variable is functionally defined —
+    the shape bounded variable elimination collapses."""
+    cnf = _CnfBuilder()
+    bits = [cnf.var() for _ in range(n)]
+    left = bits[0]
+    for x in bits[1:]:
+        left = cnf.xor(left, x)
+    layer = list(bits)
+    while len(layer) > 1:
+        nxt = [cnf.xor(layer[i], layer[i + 1])
+               for i in range(0, len(layer) - 1, 2)]
+        if len(layer) % 2:
+            nxt.append(layer[-1])
+        layer = nxt
+    cnf.clauses.append([cnf.xor(left, layer[0])])
+    return cnf.nvars, cnf.clauses
+
+
+def padded_pigeonhole_cnf(pigeons, holes, chain, seed):
+    """PHP core where every literal is routed through an equivalence
+    chain (buffer gates), as Tseitin encodings of deep netlists do; the
+    simplifier strips the padding back to the core."""
+    rng = random.Random(seed)
+    nvars = pigeons * holes
+    clauses = []
+    alias = {}
+    for v in range(1, nvars + 1):
+        chain_vars = [v]
+        prev = v
+        for _ in range(chain):
+            nvars += 1
+            clauses.extend([[-nvars, prev], [nvars, -prev]])
+            prev = nvars
+            chain_vars.append(nvars)
+        alias[v] = chain_vars
+
+    def a(lit):
+        v = rng.choice(alias[abs(lit)])
+        return v if lit > 0 else -v
+
+    def var(i, j):
+        return i * holes + j + 1
+
+    base = [[var(i, j) for j in range(holes)] for i in range(pigeons)]
+    for j in range(holes):
+        for i1 in range(pigeons):
+            for i2 in range(i1 + 1, pigeons):
+                base.append([-var(i1, j), -var(i2, j)])
+    clauses.extend([a(l) for l in c] for c in base)
+    return nvars, clauses
+
+
+def _solve_family(solver_cls, nvars, clauses):
+    solver = solver_cls()
+    for _ in range(nvars):
+        solver.new_var()
+    solver.add_clauses(clauses)
+    assert solver.solve() is False
+
+
+@pytest.mark.benchmark(group="preprocess")
+@pytest.mark.parametrize("solver_cls", [CdclSolver, SimplifyingSolver],
+                         ids=["raw", "preprocessed"])
+def test_solver_parity_miter(benchmark, solver_cls):
+    nvars, clauses = parity_miter_cnf(36)
+    benchmark.pedantic(
+        lambda: _solve_family(solver_cls, nvars, clauses),
+        rounds=3, iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="preprocess")
+@pytest.mark.parametrize("solver_cls", [CdclSolver, SimplifyingSolver],
+                         ids=["raw", "preprocessed"])
+def test_solver_padded_pigeonhole(benchmark, solver_cls):
+    nvars, clauses = padded_pigeonhole_cnf(6, 5, chain=6, seed=3)
+    benchmark.pedantic(
+        lambda: _solve_family(solver_cls, nvars, clauses),
+        rounds=3, iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="upec-sat")
+@pytest.mark.parametrize("simplify", [False, True],
+                         ids=["raw", "preprocessed"])
+def test_upec_methodology_sat_cost(benchmark, simplify):
+    """The flagship workload: the full Fig.-5 methodology on the secure
+    design (Tab. I, D in cache) with and without CNF simplification."""
+    from repro.core import UpecMethodology, UpecScenario
+    from repro.soc.config import FORMAL_CONFIG_KWARGS
+
+    soc = build_soc(SocConfig.secure(**FORMAL_CONFIG_KWARGS))
+
+    def run():
+        result = UpecMethodology(
+            soc, UpecScenario(secret_in_cache=True), simplify=simplify
+        ).run(k=2)
+        assert result.verdict == "secure_bounded"
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
 
 
 @pytest.mark.benchmark(group="sim")

@@ -6,6 +6,11 @@ Commands
 ``check``        run one UPEC property check
 ``methodology``  run the full Fig.-5 iterative flow
 ``attack``       run the Orc or Meltdown-style attack on the simulator
+
+The formal commands (``check``, ``methodology``) accept
+``--no-preprocess`` to disable the SatELite-style CNF pre-/inprocessor
+(variable elimination, subsumption, probing; on by default) and
+``--stats`` to print solver and simplifier counters after the run.
 """
 
 from __future__ import annotations
@@ -56,12 +61,14 @@ def cmd_info(args) -> int:
 def cmd_check(args) -> int:
     soc = _build(args.variant, "formal")
     scenario = UpecScenario(secret_in_cache=not args.uncached)
-    model = UpecModel(soc, scenario)
+    model = UpecModel(soc, scenario, simplify=not args.no_preprocess)
     result = UpecChecker(model).check(
         k=args.k, conflict_limit=args.conflict_limit
     )
     print(f"scenario: {scenario.describe()}")
     print(result.describe())
+    if args.stats:
+        print(format_kv_block("solver", result.stats))
     if result.alert is not None:
         print(result.alert.render_witness())
         return 2 if result.alert.is_l_alert else 1
@@ -71,8 +78,12 @@ def cmd_check(args) -> int:
 def cmd_methodology(args) -> int:
     soc = _build(args.variant, "formal")
     scenario = UpecScenario(secret_in_cache=not args.uncached)
-    result = UpecMethodology(soc, scenario).run(k=args.k)
+    result = UpecMethodology(
+        soc, scenario, simplify=not args.no_preprocess
+    ).run(k=args.k)
     print(result.describe())
+    if args.stats:
+        print(format_kv_block("solver", result.stats))
     return 0 if result.verdict == "secure_bounded" else 2
 
 
@@ -119,12 +130,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("--uncached", action="store_true",
                          help="scenario: D not in cache")
     p_check.add_argument("--conflict-limit", type=int, default=None)
+    p_check.add_argument("--no-preprocess", action="store_true",
+                         help="solve the raw Tseitin CNF (no simplification)")
+    p_check.add_argument("--stats", action="store_true",
+                         help="print solver/simplifier statistics")
     p_check.set_defaults(func=cmd_check)
 
     p_meth = sub.add_parser("methodology", help="full Fig.-5 flow")
     _add_common(p_meth)
     p_meth.add_argument("--k", type=int, default=2)
     p_meth.add_argument("--uncached", action="store_true")
+    p_meth.add_argument("--no-preprocess", action="store_true",
+                        help="solve the raw Tseitin CNF (no simplification)")
+    p_meth.add_argument("--stats", action="store_true",
+                        help="print solver/simplifier statistics")
     p_meth.set_defaults(func=cmd_methodology)
 
     p_att = sub.add_parser("attack", help="simulator-level attack")

@@ -86,9 +86,11 @@ class InductiveDiffProof:
         soc: Soc,
         scenario: UpecScenario,
         invariant: Sequence[CondEq],
+        simplify: bool = True,
     ) -> None:
         self.soc = soc
         self.scenario = scenario
+        self.simplify = simplify
         self.invariant = list(invariant)
         domain = {entry.reg for entry in self.invariant}
         for entry in self.invariant:
@@ -119,7 +121,8 @@ class InductiveDiffProof:
         cond_eq: Dict[Reg, Optional[Expr]] = {
             entry.reg: entry.cond for entry in self.invariant
         }
-        model = UpecModel(soc, self.scenario, cond_eq=cond_eq)
+        model = UpecModel(soc, self.scenario, cond_eq=cond_eq,
+                          simplify=self.simplify)
         model.assume_window(1)
         context = model.context
         aig = context.aig
@@ -151,11 +154,11 @@ class InductiveDiffProof:
         for reg in soc.circuit.regs.values():
             if reg in secret_regs:
                 continue
+            if reg in cond_eq and cond_eq[reg] is None:
+                continue  # unconditional difference: nothing to prove
             diff1 = model.pair_diff_lit(reg, 1)
             if reg in cond_eq:
                 cond = cond_eq[reg]
-                if cond is None:
-                    continue  # unconditional difference: nothing to prove
                 cond_both = aig.and_(
                     model.u1.expr_lit(cond, 1), model.u2.expr_lit(cond, 1)
                 )

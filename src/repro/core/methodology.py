@@ -72,14 +72,16 @@ class UpecMethodology:
         soc: Soc,
         scenario: UpecScenario,
         conflict_limit: Optional[int] = None,
+        simplify: bool = True,
     ) -> None:
         self.soc = soc
         self.scenario = scenario
         self.conflict_limit = conflict_limit
+        self.simplify = simplify
 
     def run(self, k: int, max_iterations: int = 64) -> MethodologyResult:
         start = time.perf_counter()
-        model = UpecModel(self.soc, self.scenario)
+        model = UpecModel(self.soc, self.scenario, simplify=self.simplify)
         checker = UpecChecker(model)
         commitment: List[Reg] = model.default_commitment()
         p_alerts: List[Alert] = []

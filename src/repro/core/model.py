@@ -81,10 +81,11 @@ class UpecModel:
         scenario: UpecScenario,
         extra_diff_regs: Iterable[Reg] = (),
         cond_eq: Optional[Dict[Reg, Optional[Expr]]] = None,
+        simplify: bool = True,
     ) -> None:
         self.soc = soc
         self.scenario = scenario
-        self.context = SatContext()
+        self.context = SatContext(simplify=simplify)
         self.cond_eq = dict(cond_eq or {})
 
         diff_seed = {soc.secret_mem_reg}
@@ -203,7 +204,15 @@ class UpecModel:
         aig = self.context.aig
         bits1 = self.u1.reg_bits(reg, frame)
         bits2 = self.u2.reg_bits(reg, frame)
-        return aig.or_all(aig.xor_(a, b) for a, b in zip(bits1, bits2))
+        diff = aig.or_all(aig.xor_(a, b) for a, b in zip(bits1, bits2))
+        if diff not in (0, 1):
+            # The register pair is witness state: keep its bits out of
+            # variable elimination so alert diffs reflect search values.
+            mapper = self.context.mapper
+            for bit in bits1 + bits2:
+                if bit not in (0, 1):
+                    mapper.freeze_lit(bit)
+        return diff
 
     def pair_equal_lit(self, reg: Reg, frame: int) -> int:
         return self.pair_diff_lit(reg, frame) ^ 1

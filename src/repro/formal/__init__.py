@@ -1,8 +1,9 @@
 """SAT-based formal verification engine.
 
-Layers, bottom up: CDCL solver (:mod:`repro.formal.solver`), AIG with
-structural hashing and Tseitin CNF mapping (:mod:`repro.formal.aig`),
-word-level bit-blasting (:mod:`repro.formal.bitblast`), sequential unrolling
+Layers, bottom up: CDCL solver (:mod:`repro.formal.solver`), CNF
+pre-/inprocessing (:mod:`repro.formal.preprocess`), AIG with structural
+hashing and Tseitin CNF mapping (:mod:`repro.formal.aig`), word-level
+bit-blasting (:mod:`repro.formal.bitblast`), sequential unrolling
 (:mod:`repro.formal.unroll`) and the BMC/IPC driver (:mod:`repro.formal.bmc`).
 """
 
@@ -11,6 +12,14 @@ from repro.formal.bmc import BmcEngine, BmcResult, SatContext, Witness
 from repro.formal.bitblast import BitBlaster, bits_to_int, const_bits
 from repro.formal.dimacs import read_dimacs, write_dimacs
 from repro.formal.induction import InductionResult, prove_by_induction
+from repro.formal.preprocess import (
+    Simplifier,
+    SimplifyingSolver,
+    SimplifyResult,
+    SimplifyStats,
+    reconstruct_model,
+    simplify_clauses,
+)
 from repro.formal.solver import CdclSolver, luby_sequence
 from repro.formal.unroll import Unroller
 
@@ -23,6 +32,10 @@ __all__ = [
     "CnfMapper",
     "InductionResult",
     "SatContext",
+    "Simplifier",
+    "SimplifyingSolver",
+    "SimplifyResult",
+    "SimplifyStats",
     "Unroller",
     "Witness",
     "bits_to_int",
@@ -30,5 +43,7 @@ __all__ = [
     "luby_sequence",
     "prove_by_induction",
     "read_dimacs",
+    "reconstruct_model",
+    "simplify_clauses",
     "write_dimacs",
 ]

@@ -234,6 +234,17 @@ class CnfMapper:
         """Add a unit clause forcing an AIG literal to hold."""
         self.solver.add_clause([self.lit_to_solver(lit)])
 
+    def freeze_lit(self, lit: int) -> None:
+        """Mark an AIG literal's variable as witness-relevant: a
+        simplifying solver must not eliminate it, so counterexample
+        values come from the search rather than from don't-care
+        reconstruction.  No-op for solvers without frozen variables."""
+        freeze = getattr(self.solver, "freeze_var", None)
+        if freeze is None:
+            return
+        var = self.lit_to_solver(lit)
+        freeze(abs(var))
+
     def assumption(self, lit: int) -> int:
         """DIMACS literal usable as a solver assumption."""
         return self.lit_to_solver(lit)

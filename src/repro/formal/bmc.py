@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.errors import FormalError
 from repro.formal.aig import Aig, CnfMapper
 from repro.formal.bitblast import bits_to_int
+from repro.formal.preprocess import SimplifyingSolver
 from repro.formal.solver import CdclSolver
 from repro.formal.unroll import Unroller
 from repro.hdl.circuit import Circuit
@@ -25,11 +26,16 @@ from repro.hdl.expr import Expr, Reg
 
 
 class SatContext:
-    """Shared AIG + CNF + solver state for a sequence of related queries."""
+    """Shared AIG + CNF + solver state for a sequence of related queries.
 
-    def __init__(self) -> None:
+    With ``simplify=True`` (the default) the CNF goes through the
+    SatELite-style pre-/inprocessor of :mod:`repro.formal.preprocess`
+    before every search; ``simplify=False`` solves the raw Tseitin CNF.
+    """
+
+    def __init__(self, simplify: bool = True) -> None:
         self.aig = Aig()
-        self.solver = CdclSolver()
+        self.solver = SimplifyingSolver() if simplify else CdclSolver()
         self.mapper = CnfMapper(self.aig, self.solver)
 
     def assert_lit(self, lit: int) -> None:
@@ -61,6 +67,10 @@ class SatContext:
         data["aig_nodes"] = len(self.aig)
         data["cnf_vars"] = self.solver.nvars
         data["cnf_clauses_emitted"] = self.mapper.clauses_emitted
+        simp = getattr(self.solver, "simplify_stats", None)
+        if simp is not None:
+            for key, value in simp.as_dict().items():
+                data[f"simplify_{key}"] = value
         return data
 
 
@@ -102,9 +112,10 @@ class BmcResult:
 class BmcEngine:
     """Bounded safety checking of one circuit."""
 
-    def __init__(self, circuit: Circuit, init: str = "reset") -> None:
+    def __init__(self, circuit: Circuit, init: str = "reset",
+                 simplify: bool = True) -> None:
         self.circuit = circuit.finalize()
-        self.context = SatContext()
+        self.context = SatContext(simplify=simplify)
         self.unroller = Unroller(circuit, self.context.aig, init=init)
 
     def extract_witness(self, depth: int, failed_frame: int) -> Witness:

@@ -8,7 +8,22 @@ from repro.errors import FormalError
 
 
 def write_dimacs(stream: TextIO, nvars: int, clauses: List[List[int]]) -> None:
-    """Write a CNF in DIMACS format."""
+    """Write a CNF in DIMACS format.
+
+    Literals are validated against ``nvars`` so the writer can never emit
+    a file that :func:`read_dimacs` rejects (the parser enforces the
+    declared variable count).
+    """
+    if nvars < 0:
+        raise FormalError(f"negative variable count {nvars}")
+    for clause in clauses:
+        for lit in clause:
+            if lit == 0:
+                raise FormalError(
+                    "literal 0 is reserved for clause termination")
+            if abs(lit) > nvars:
+                raise FormalError(
+                    f"literal {lit} exceeds declared variable count {nvars}")
     stream.write(f"p cnf {nvars} {len(clauses)}\n")
     for clause in clauses:
         stream.write(" ".join(str(lit) for lit in clause) + " 0\n")

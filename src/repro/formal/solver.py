@@ -41,7 +41,7 @@ class Stats:
     """Solver statistics, exposed for benchmarking."""
 
     __slots__ = ("conflicts", "decisions", "propagations", "restarts",
-                 "learnt_deleted")
+                 "learnt_deleted", "glue_learnts", "trail_reuses")
 
     def __init__(self) -> None:
         self.conflicts = 0
@@ -49,6 +49,8 @@ class Stats:
         self.propagations = 0
         self.restarts = 0
         self.learnt_deleted = 0
+        self.glue_learnts = 0
+        self.trail_reuses = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -62,6 +64,7 @@ class CdclSolver:
         self._clauses: List[List[int]] = []      # problem clauses
         self._learnts: List[List[int]] = []
         self._learnt_act: Dict[int, float] = {}  # id(clause) -> activity
+        self._learnt_lbd: Dict[int, int] = {}    # id(clause) -> glue level
         self._learnt_set: Dict[int, List[int]] = {}
         self._watches: List[List[List[int]]] = [[], []]  # lit -> clauses
         self._assign: List[int] = [_UNASSIGNED]
@@ -251,6 +254,15 @@ class CdclSolver:
             for k in self._learnt_act:
                 self._learnt_act[k] *= 1e-20
             self._cla_inc *= 1e-20
+        # Glucose-style dynamic LBD: a clause participating in conflict
+        # analysis has all literals assigned, so its glue can be refreshed
+        # (it only ever improves, protecting it from deletion).
+        old = self._learnt_lbd.get(key, 0)
+        if old > 2:
+            levels = self._level
+            lbd = len({levels[q >> 1] for q in clause})
+            if lbd < old:
+                self._learnt_lbd[key] = lbd
 
     def _analyze(self, conflict: List[int]) -> tuple:
         """First-UIP learning; returns (learnt clause, backtrack level)."""
@@ -332,19 +344,25 @@ class CdclSolver:
         del self._trail_lim[target_level:]
         self._qhead = len(self._trail)
 
-    def _record_learnt(self, clause: List[int]) -> None:
+    def _record_learnt(self, clause: List[int], lbd: int = 0) -> None:
         if len(clause) == 1:
             self._enqueue(clause[0], None)
             return
         self._learnts.append(clause)
         self._learnt_act[id(clause)] = self._cla_inc
+        self._learnt_lbd[id(clause)] = lbd
         self._learnt_set[id(clause)] = clause
+        if lbd and lbd <= 2:
+            self.stats.glue_learnts += 1
         self._watches[clause[0] ^ 1].append(clause)
         self._watches[clause[1] ^ 1].append(clause)
         self._enqueue(clause[0], clause)
 
     def _reduce_db(self) -> None:
-        """Drop the less active half of the learnt clauses."""
+        """Drop half the learnt clauses, worst glue (LBD) first.
+
+        Glue clauses (LBD <= 2) and binaries are always kept — they are the
+        learnts that keep paying for themselves (Audemard & Simon 2009)."""
         if not self._learnts:
             return
         locked = set()
@@ -352,16 +370,26 @@ class CdclSolver:
             reason = self._reason[var]
             if reason is not None and id(reason) in self._learnt_act:
                 locked.add(id(reason))
-        order = sorted(self._learnts, key=lambda c: self._learnt_act[id(c)])
+        lbd = self._learnt_lbd
+        act = self._learnt_act
+        order = sorted(
+            self._learnts,
+            key=lambda c: (-lbd.get(id(c), 0), act[id(c)]),
+        )
         drop = set()
         for clause in order[: len(order) // 2]:
-            if id(clause) not in locked and len(clause) > 2:
-                drop.add(id(clause))
+            key = id(clause)
+            if key in locked or len(clause) <= 2:
+                continue
+            if lbd.get(key, 3) <= 2:
+                continue
+            drop.add(key)
         if not drop:
             return
         self._learnts = [c for c in self._learnts if id(c) not in drop]
         for key in drop:
             del self._learnt_act[key]
+            del self._learnt_lbd[key]
             del self._learnt_set[key]
         self.stats.learnt_deleted += len(drop)
         for lit in range(2, 2 * self.nvars + 2):
@@ -384,6 +412,36 @@ class CdclSolver:
             if assign[var] == _UNASSIGNED:
                 return 2 * var + (0 if self._polarity[var] else 1)
         return None
+
+    def _restart_level(self, base: int) -> int:
+        """Restart target with trail reuse (van der Tak et al. 2011).
+
+        Decision levels whose decision variable out-scores the best
+        unassigned variable would be re-made verbatim after a full
+        restart, so the trail prefix up to the first out-scored decision
+        is kept instead of being rebuilt by propagation."""
+        order = self._order
+        assign = self._assign
+        activity = self._activity
+        while order:
+            neg_act, var = order[0]
+            if assign[var] == _UNASSIGNED and -neg_act == activity[var]:
+                break
+            heapq.heappop(order)
+        if not order:
+            return base
+        best = -order[0][0]
+        trail = self._trail
+        lim = self._trail_lim
+        level = base
+        while level < len(lim):
+            pos = lim[level]
+            if pos >= len(trail):
+                break
+            if activity[trail[pos] >> 1] < best:
+                break
+            level += 1
+        return level
 
     # ------------------------------------------------------------------
     # Main loop
@@ -425,11 +483,15 @@ class CdclSolver:
                     self._backtrack(0)
                     return None
                 learnt, back_level = self._analyze(conflict)
+                # LBD (glue) of the learnt clause: number of distinct
+                # decision levels, computed while everything is assigned.
+                levels = self._level
+                lbd = len({levels[q >> 1] for q in learnt})
                 # Backtracking may undo assumption pseudo-decisions; the
                 # main loop re-places them (and detects assumptions that
                 # have become falsified by learnt units).
                 self._backtrack(back_level)
-                self._record_learnt(learnt)
+                self._record_learnt(learnt, lbd)
                 self._var_inc /= self._var_decay
                 self._cla_inc /= self._cla_decay
                 conflicts_until_restart -= 1
@@ -445,9 +507,11 @@ class CdclSolver:
                 if restart_idx >= len(luby):
                     luby = luby_sequence(2 * len(luby))
                 conflicts_until_restart = 100 * luby[restart_idx]
-                self._backtrack(
-                    min(len(internal_assumptions), len(self._trail_lim))
-                )
+                base = min(len(internal_assumptions), len(self._trail_lim))
+                target = self._restart_level(base)
+                if target > base:
+                    self.stats.trail_reuses += 1
+                self._backtrack(target)
                 continue
             # Place assumptions as pseudo-decisions.
             placed_all = True

@@ -1,0 +1,98 @@
+"""DIMACS round-trip: write → parse → re-solve must preserve everything.
+
+Also pins the writer/parser symmetry fix: the writer validates literals
+against the declared variable count, so it can no longer emit a file that
+its own parser rejects.
+"""
+
+import io
+import random
+
+import pytest
+
+from repro.errors import FormalError
+from repro.formal.dimacs import read_dimacs, write_dimacs
+from repro.formal.solver import CdclSolver
+
+
+def random_cnf(rng, max_vars=12):
+    nvars = rng.randint(1, max_vars)
+    nclauses = rng.randint(0, 3 * nvars)
+    clauses = []
+    for _ in range(nclauses):
+        size = rng.randint(1, 5)
+        clauses.append(
+            [rng.randint(1, nvars) * rng.choice([1, -1]) for _ in range(size)]
+        )
+    return nvars, clauses
+
+
+def solve(nvars, clauses):
+    solver = CdclSolver()
+    for _ in range(nvars):
+        solver.new_var()
+    solver.add_clauses(clauses)
+    return solver.solve()
+
+
+def test_roundtrip_preserves_clauses_vars_and_satisfiability():
+    rng = random.Random(77)
+    for _ in range(120):
+        nvars, clauses = random_cnf(rng)
+        stream = io.StringIO()
+        write_dimacs(stream, nvars, clauses)
+        stream.seek(0)
+        nvars2, clauses2 = read_dimacs(stream)
+        assert nvars2 == nvars
+        assert clauses2 == clauses
+        assert solve(nvars2, clauses2) is solve(nvars, clauses)
+
+
+def test_roundtrip_empty_formula():
+    stream = io.StringIO()
+    write_dimacs(stream, 3, [])
+    stream.seek(0)
+    assert read_dimacs(stream) == (3, [])
+
+
+def test_roundtrip_empty_clause():
+    stream = io.StringIO()
+    write_dimacs(stream, 2, [[1], []])
+    stream.seek(0)
+    nvars, clauses = read_dimacs(stream)
+    assert (nvars, clauses) == (2, [[1], []])
+    assert solve(nvars, clauses) is False
+
+
+def test_writer_rejects_out_of_range_literal():
+    """The asymmetry fix: previously ``write_dimacs(s, 2, [[3]])``
+    produced a file ``read_dimacs`` rejects; now the writer refuses."""
+    with pytest.raises(FormalError):
+        write_dimacs(io.StringIO(), 2, [[3]])
+    with pytest.raises(FormalError):
+        write_dimacs(io.StringIO(), 2, [[1, -4]])
+
+
+def test_writer_rejects_literal_zero_and_negative_nvars():
+    with pytest.raises(FormalError):
+        write_dimacs(io.StringIO(), 2, [[1, 0]])
+    with pytest.raises(FormalError):
+        write_dimacs(io.StringIO(), -1, [])
+
+
+def test_parser_accepts_comments_blank_lines_and_split_clauses():
+    text = "c a comment\n\np cnf 3 2\n1 -2\n0\nc mid comment\n3 0\n"
+    nvars, clauses = read_dimacs(io.StringIO(text))
+    assert nvars == 3
+    assert clauses == [[1, -2], [3]]
+
+
+def test_parser_error_cases_still_rejected():
+    with pytest.raises(FormalError):
+        read_dimacs(io.StringIO("p cnf 1 1\n2 0\n"))   # var out of range
+    with pytest.raises(FormalError):
+        read_dimacs(io.StringIO("p cnf 1 1\n1\n"))      # missing terminator
+    with pytest.raises(FormalError):
+        read_dimacs(io.StringIO("p cnf 1 2\n1 0\n"))    # count mismatch
+    with pytest.raises(FormalError):
+        read_dimacs(io.StringIO("p dnf 1 1\n1 0\n"))    # malformed header

@@ -1,0 +1,210 @@
+"""Differential fuzzing of the CNF pre-/inprocessor.
+
+Every suite drives seeded random CNF instances (small enough for exhaustive
+enumeration) through the solver with and without preprocessing and compares
+against brute force: the SAT/UNSAT verdict must agree exactly, and every
+SAT model must satisfy the *original* clauses — which exercises bounded
+variable elimination's model-reconstruction stack end to end.
+
+``REPRO_FUZZ_SCALE`` multiplies the iteration counts (CI can turn the
+screws); the ``slow`` marker gates an extra high-volume pass.
+"""
+
+import itertools
+import os
+import random
+
+import pytest
+
+from repro.formal.preprocess import (
+    SimplifyingSolver,
+    reconstruct_model,
+    simplify_clauses,
+)
+from repro.formal.solver import CdclSolver
+
+FUZZ_SCALE = max(1, int(os.environ.get("REPRO_FUZZ_SCALE", "1")))
+
+
+def brute_force_sat(nvars, clauses):
+    for bits in itertools.product([False, True], repeat=nvars):
+        ok = True
+        for clause in clauses:
+            if not any(
+                bits[abs(l) - 1] if l > 0 else not bits[abs(l) - 1]
+                for l in clause
+            ):
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+def random_cnf(rng, max_vars=12):
+    nvars = rng.randint(1, max_vars)
+    nclauses = rng.randint(1, 3 * nvars)
+    clauses = []
+    for _ in range(nclauses):
+        size = rng.randint(1, 5)
+        clauses.append(
+            [rng.randint(1, nvars) * rng.choice([1, -1]) for _ in range(size)]
+        )
+    return nvars, clauses
+
+
+def make_solver(cls, nvars, clauses, **kwargs):
+    solver = cls(**kwargs) if kwargs else cls()
+    for _ in range(nvars):
+        solver.new_var()
+    solver.add_clauses(clauses)
+    return solver
+
+
+def assert_model_satisfies(solver, clauses):
+    for clause in clauses:
+        # Tautologies are dropped on add; they hold in any assignment.
+        if any(-l in clause for l in clause):
+            continue
+        assert any(solver.model_value(l) for l in clause), \
+            f"model violates original clause {clause}"
+
+
+def run_verdict_cases(seed, count, **solver_kwargs):
+    rng = random.Random(seed)
+    for _ in range(count):
+        nvars, clauses = random_cnf(rng)
+        expected = brute_force_sat(nvars, clauses)
+        raw = make_solver(CdclSolver, nvars, clauses)
+        assert raw.solve() is expected
+        pre = make_solver(SimplifyingSolver, nvars, clauses, **solver_kwargs)
+        assert pre.solve() is expected, \
+            f"preprocessing changed the verdict on {clauses}"
+        if expected:
+            assert_model_satisfies(raw, clauses)
+            assert_model_satisfies(pre, clauses)
+            # Verdicts are stable across repeated solves.
+            assert pre.solve() is True
+            assert_model_satisfies(pre, clauses)
+
+
+def test_preprocessed_verdicts_agree_with_brute_force():
+    run_verdict_cases(seed=101, count=160 * FUZZ_SCALE)
+
+
+def test_preprocessed_verdicts_with_forced_inprocessing():
+    """min_pending=1 forces a simplification rebuild on every solve."""
+    run_verdict_cases(seed=202, count=80 * FUZZ_SCALE, min_pending=1)
+
+
+def test_assumption_differential():
+    rng = random.Random(303)
+    for _ in range(120 * FUZZ_SCALE):
+        nvars, clauses = random_cnf(rng)
+        assumptions = sorted(
+            {rng.randint(1, nvars) * rng.choice([1, -1])
+             for _ in range(rng.randint(0, 3))},
+            key=abs,
+        )
+        # Drop contradictory assumption pairs (x and -x).
+        assumptions = [a for a in assumptions if -a not in assumptions]
+        expected = brute_force_sat(
+            nvars, clauses + [[a] for a in assumptions]
+        )
+        pre = make_solver(SimplifyingSolver, nvars, clauses)
+        assert pre.solve(assumptions=assumptions) is expected
+        if expected:
+            assert_model_satisfies(pre, clauses)
+            for a in assumptions:
+                assert pre.model_value(a)
+        # The solver stays usable: an assumption-free solve matches
+        # brute force on the bare formula.
+        assert pre.solve() is brute_force_sat(nvars, clauses)
+
+
+def test_incremental_inprocessing_differential():
+    """Interleave clause batches and solves: covers inprocessing rebuilds
+    and the resurrection of eliminated variables."""
+    rng = random.Random(404)
+    for _ in range(80 * FUZZ_SCALE):
+        nvars = rng.randint(2, 10)
+        pre = make_solver(
+            SimplifyingSolver, nvars, [],
+            min_pending=rng.choice([1, 4, 10_000]),
+        )
+        accumulated = []
+        unsat_seen = False
+        for _ in range(rng.randint(2, 4)):
+            batch = []
+            for _ in range(rng.randint(1, 12)):
+                size = rng.randint(1, 4)
+                batch.append([
+                    rng.randint(1, nvars) * rng.choice([1, -1])
+                    for _ in range(size)
+                ])
+            accumulated.extend(batch)
+            pre.add_clauses(batch)
+            assumptions = [
+                rng.randint(1, nvars) * rng.choice([1, -1])
+                for _ in range(rng.randint(0, 2))
+            ]
+            assumptions = [a for a in assumptions if -a not in assumptions]
+            expected = brute_force_sat(
+                nvars, accumulated + [[a] for a in assumptions]
+            )
+            outcome = pre.solve(assumptions=assumptions)
+            if unsat_seen:
+                assert outcome is False
+                continue
+            assert outcome is expected
+            if outcome:
+                assert_model_satisfies(pre, accumulated)
+                for a in assumptions:
+                    assert pre.model_value(a)
+            if not brute_force_sat(nvars, accumulated):
+                unsat_seen = True
+
+
+def test_simplifier_preserves_satisfiability():
+    """The standalone pass: the simplified formula is equisatisfiable and
+    any of its models reconstructs to a model of the original."""
+    rng = random.Random(505)
+    for _ in range(120 * FUZZ_SCALE):
+        nvars, clauses = random_cnf(rng, max_vars=10)
+        expected = brute_force_sat(nvars, clauses)
+        result = simplify_clauses(nvars, clauses)
+        if not result.ok:
+            assert expected is False
+            continue
+        reduced = result.clauses + [[u] for u in result.units]
+        assert brute_force_sat(nvars, reduced) is expected
+        assert result.nvars == nvars
+        if expected:
+            inner = make_solver(CdclSolver, nvars, reduced)
+            assert inner.solve() is True
+            base = [False] + [inner.model_value(v)
+                              for v in range(1, nvars + 1)]
+            full = reconstruct_model(base, result.stack)
+            for clause in clauses:
+                if any(-l in clause for l in clause):
+                    continue
+                assert any(
+                    full[abs(l)] == (l > 0) for l in clause
+                ), f"reconstructed model violates {clause}"
+
+
+def test_frozen_variables_survive_elimination():
+    rng = random.Random(606)
+    for _ in range(40 * FUZZ_SCALE):
+        nvars, clauses = random_cnf(rng, max_vars=8)
+        frozen = {rng.randint(1, nvars) for _ in range(2)}
+        result = simplify_clauses(nvars, clauses, frozen=frozen)
+        for var in frozen:
+            assert var not in result.eliminated
+
+
+@pytest.mark.slow
+def test_fuzz_slow_high_volume():
+    """Deep pass for CI's full runs (scaled further by REPRO_FUZZ_SCALE)."""
+    run_verdict_cases(seed=9001, count=400 * FUZZ_SCALE)
+    run_verdict_cases(seed=9002, count=100 * FUZZ_SCALE, min_pending=1)
