@@ -197,15 +197,64 @@ def test_upec_methodology_sat_cost(benchmark, simplify):
     """The flagship workload: the full Fig.-5 methodology on the secure
     design (Tab. I, D in cache) with and without CNF simplification."""
     from repro.core import UpecMethodology, UpecScenario
+    from repro.engine import INLINE
     from repro.soc.config import FORMAL_CONFIG_KWARGS
 
     soc = build_soc(SocConfig.secure(**FORMAL_CONFIG_KWARGS))
 
     def run():
         result = UpecMethodology(
-            soc, UpecScenario(secret_in_cache=True), simplify=simplify
+            soc, UpecScenario(secret_in_cache=True), simplify=simplify,
+            engine=INLINE,
         ).run(k=2)
         assert result.verdict == "secure_bounded"
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+# ----------------------------------------------------------------------
+# Obligation engine: sweep throughput vs. worker count
+# ----------------------------------------------------------------------
+@pytest.mark.benchmark(group="sweep")
+@pytest.mark.parametrize("jobs", [1, 2, 4])
+def test_table1_sweep_throughput(benchmark, jobs):
+    """Tab.-I grid (all four variants, D in cache) through the scenario
+    sweep scheduler at 1/2/4 workers.  On multi-core hosts the higher
+    worker counts show the wall-clock speedup of obligation-level
+    parallelism; the jobs=1 row is the sequential baseline.  Worker
+    counts beyond the machine (see ``UPEC_BENCH_JOBS``) are skipped
+    rather than reported as misleading oversubscription numbers."""
+    from conftest import bench_jobs_ceiling
+
+    from repro.engine import ScenarioSweep
+
+    if jobs > 1 and jobs > bench_jobs_ceiling():
+        pytest.skip(f"host has fewer than {jobs} usable cores")
+    sweep = ScenarioSweep.table1_grid(k=2, uncached=False)
+
+    def run():
+        result = sweep.run(jobs=jobs)
+        verdicts = result.verdicts()
+        assert verdicts["secure/cached/k=2"] == "secure_bounded"
+        assert verdicts["orc/cached/k=2"] == "insecure"
+        assert verdicts["meltdown/cached/k=2"] == "insecure"
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+@pytest.mark.benchmark(group="sweep")
+def test_frame_obligations_through_engine(benchmark, proof_engine):
+    """Per-frame obligation dispatch on one miter (engine jobs=1): the
+    scheduling overhead added on top of raw solving."""
+    from repro.core import UpecChecker, UpecModel, UpecScenario
+    from repro.soc.config import FORMAL_CONFIG_KWARGS
+
+    soc = build_soc(SocConfig.orc(**FORMAL_CONFIG_KWARGS))
+
+    def run():
+        model = UpecModel(soc, UpecScenario(secret_in_cache=True))
+        result = UpecChecker(model, engine=proof_engine).check(k=2)
+        assert result.status == "alert"
 
     benchmark.pedantic(run, rounds=1, iterations=1)
 

@@ -5,17 +5,28 @@ Commands
 ``info``         print design-variant statistics
 ``check``        run one UPEC property check
 ``methodology``  run the full Fig.-5 iterative flow
+``sweep``        run a Tab.-I grid of methodology cells across workers
 ``attack``       run the Orc or Meltdown-style attack on the simulator
 
-The formal commands (``check``, ``methodology``) accept
-``--no-preprocess`` to disable the SatELite-style CNF pre-/inprocessor
-(variable elimination, subsumption, probing; on by default) and
-``--stats`` to print solver and simplifier counters after the run.
+The solver-backed commands (``check``, ``methodology``, ``sweep``)
+uniformly accept:
+
+``--no-preprocess``   disable the SatELite-style CNF pre-/inprocessor
+``--stats``           print solver / simplifier / engine counters
+``--json``            machine-readable result on stdout
+``--jobs N``          solve proof obligations on N worker processes
+``--cache-dir DIR``   persistent proof cache (re-runs skip proved
+                      obligations)
+``--conflict-limit``  per-query conflict budget
+
+``attack`` takes ``--stats`` (timing-series counters) and ``--json``
+as well; it has no SAT solver, so the solver flags do not apply.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -23,9 +34,11 @@ from repro.core import UpecChecker, UpecMethodology, UpecModel, UpecScenario
 from repro.core.report import format_kv_block, format_table
 from repro.hdl import circuit_stats
 from repro.soc import SocConfig, build_soc
-from repro.soc.config import FORMAL_CONFIG_KWARGS, SIM_CONFIG_KWARGS
-
-VARIANTS = ("secure", "orc", "meltdown", "pmp_bug")
+from repro.soc.config import (
+    FORMAL_CONFIG_KWARGS,
+    SIM_CONFIG_KWARGS,
+    VARIANTS,
+)
 
 
 def _build(variant: str, geometry: str):
@@ -39,6 +52,44 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--geometry", choices=("formal", "sim"), default="formal",
         help="SoC geometry (default: formal — the small UPEC geometry)",
     )
+
+
+def _add_output_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--stats", action="store_true",
+                        help="print solver/simplifier/engine statistics")
+    parser.add_argument("--json", action="store_true",
+                        help="print the result as JSON (suppresses the "
+                             "human-readable report)")
+
+
+def _add_solver_flags(parser: argparse.ArgumentParser) -> None:
+    """The uniform solver/engine flag set of every SAT-backed command."""
+    parser.add_argument("--no-preprocess", action="store_true",
+                        help="solve the raw Tseitin CNF (no simplification)")
+    parser.add_argument("--conflict-limit", type=int, default=None)
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for proof obligations "
+                             "(default: $REPRO_ENGINE_JOBS or in-process)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent proof-result cache directory")
+    _add_output_flags(parser)
+
+
+def _engine_from_args(args):
+    """An explicit ProofEngine when --jobs/--cache-dir ask for one, else
+    None (the library then falls back to the environment defaults)."""
+    if args.jobs is None and args.cache_dir is None:
+        return None
+    from repro.engine import ProofEngine
+
+    return ProofEngine(jobs=args.jobs, cache_dir=args.cache_dir)
+
+
+def _emit(args, payload: dict, human: str) -> None:
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(human)
 
 
 def cmd_info(args) -> int:
@@ -62,15 +113,17 @@ def cmd_check(args) -> int:
     soc = _build(args.variant, "formal")
     scenario = UpecScenario(secret_in_cache=not args.uncached)
     model = UpecModel(soc, scenario, simplify=not args.no_preprocess)
-    result = UpecChecker(model).check(
+    engine = _engine_from_args(args)
+    result = UpecChecker(model, engine=engine).check(
         k=args.k, conflict_limit=args.conflict_limit
     )
-    print(f"scenario: {scenario.describe()}")
-    print(result.describe())
-    if args.stats:
-        print(format_kv_block("solver", result.stats))
+    human = f"scenario: {scenario.describe()}\n{result.describe()}"
+    if args.stats and not args.json:
+        human += "\n" + format_kv_block("solver", result.stats)
+    if result.alert is not None and not args.json:
+        human += "\n" + result.alert.render_witness()
+    _emit(args, {"scenario": scenario.describe(), **result.to_dict()}, human)
     if result.alert is not None:
-        print(result.alert.render_witness())
         return 2 if result.alert.is_l_alert else 1
     return 0
 
@@ -79,12 +132,56 @@ def cmd_methodology(args) -> int:
     soc = _build(args.variant, "formal")
     scenario = UpecScenario(secret_in_cache=not args.uncached)
     result = UpecMethodology(
-        soc, scenario, simplify=not args.no_preprocess
+        soc, scenario,
+        conflict_limit=args.conflict_limit,
+        simplify=not args.no_preprocess,
+        engine=_engine_from_args(args),
     ).run(k=args.k)
-    print(result.describe())
-    if args.stats:
-        print(format_kv_block("solver", result.stats))
+    human = result.describe()
+    if args.stats and not args.json:
+        human += "\n" + format_kv_block("solver", result.stats)
+    _emit(args, result.to_dict(), human)
     return 0 if result.verdict == "secure_bounded" else 2
+
+
+def cmd_sweep(args) -> int:
+    import os
+
+    from repro.engine import CACHE_ENV, ScenarioSweep
+    from repro.engine.pool import env_jobs
+
+    variants = [v.strip() for v in args.variants.split(",") if v.strip()]
+    for variant in variants:
+        if variant not in VARIANTS:
+            print(f"unknown variant {variant!r} (choose from "
+                  f"{', '.join(VARIANTS)})", file=sys.stderr)
+            return 64
+    # The sweep parallelizes over cells rather than frames, but the same
+    # environment defaults apply when the flags are absent.
+    jobs = args.jobs if args.jobs is not None else env_jobs()
+    cache_dir = args.cache_dir or os.environ.get(CACHE_ENV) or None
+    sweep = ScenarioSweep.table1_grid(
+        variants=variants,
+        k=args.k,
+        cached=args.scenarios in ("cached", "both"),
+        uncached=args.scenarios in ("uncached", "both"),
+        simplify=not args.no_preprocess,
+        conflict_limit=args.conflict_limit,
+        cache_dir=cache_dir,
+    )
+    result = sweep.run(jobs=jobs)
+    human = format_table(
+        ["cell", "verdict", "iterations", "P-alerts", "runtime"],
+        result.rows(),
+    )
+    human += (f"\n{len(result.outcomes)} cells in {result.runtime_s:.2f}s "
+              f"(jobs={result.jobs})")
+    if args.stats and not args.json:
+        for out in result.outcomes:
+            human += "\n" + format_kv_block(out.cell.label,
+                                            out.result["stats"])
+    _emit(args, result.to_dict(), human)
+    return 2 if result.any_insecure() else 0
 
 
 def cmd_attack(args) -> int:
@@ -94,7 +191,7 @@ def cmd_attack(args) -> int:
         from repro.attacks import run_orc_attack
 
         result = run_orc_attack(soc, secret)
-        print(result.series.render())
+        human = result.series.render()
         recovered = result.recovered_index
         true = result.true_index
     else:
@@ -103,14 +200,34 @@ def cmd_attack(args) -> int:
         result = run_meltdown_attack(soc, secret)
         rows = [[g, t] for g, t in zip(result.series.guesses,
                                        result.series.cycles)]
-        print(format_table(["probe", "cycles"], rows))
+        human = format_table(["probe", "cycles"], rows)
         recovered = result.recovered_value
         true = result.true_value
-    if recovered is None:
-        print("no leak observable (flat timing)")
-        return 0
-    print(f"recovered: {recovered} (true: {true})")
-    return 2
+    cycles = list(result.series.cycles)
+    stats = {
+        "probes": len(result.series.guesses),
+        "min_cycles": min(cycles) if cycles else 0,
+        "max_cycles": max(cycles) if cycles else 0,
+    }
+    leaked = recovered is not None
+    if leaked:
+        human += f"\nrecovered: {recovered} (true: {true})"
+    else:
+        human += "\nno leak observable (flat timing)"
+    if args.stats and not args.json:
+        human += "\n" + format_kv_block("attack", stats)
+    payload = {
+        "kind": args.kind,
+        "variant": args.variant,
+        "recovered": recovered,
+        "true": true,
+        "leaked": leaked,
+        "guesses": list(result.series.guesses),
+        "cycles": cycles,
+        "stats": stats,
+    }
+    _emit(args, payload, human)
+    return 2 if leaked else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -129,27 +246,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("--k", type=int, default=2)
     p_check.add_argument("--uncached", action="store_true",
                          help="scenario: D not in cache")
-    p_check.add_argument("--conflict-limit", type=int, default=None)
-    p_check.add_argument("--no-preprocess", action="store_true",
-                         help="solve the raw Tseitin CNF (no simplification)")
-    p_check.add_argument("--stats", action="store_true",
-                         help="print solver/simplifier statistics")
+    _add_solver_flags(p_check)
     p_check.set_defaults(func=cmd_check)
 
     p_meth = sub.add_parser("methodology", help="full Fig.-5 flow")
     _add_common(p_meth)
     p_meth.add_argument("--k", type=int, default=2)
     p_meth.add_argument("--uncached", action="store_true")
-    p_meth.add_argument("--no-preprocess", action="store_true",
-                        help="solve the raw Tseitin CNF (no simplification)")
-    p_meth.add_argument("--stats", action="store_true",
-                        help="print solver/simplifier statistics")
+    _add_solver_flags(p_meth)
     p_meth.set_defaults(func=cmd_methodology)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="Tab.-I grid: variants x scenarios across workers"
+    )
+    p_sweep.add_argument("--variants", default=",".join(VARIANTS),
+                         help="comma-separated design variants "
+                              f"(default: {','.join(VARIANTS)})")
+    p_sweep.add_argument("--k", type=int, default=2)
+    p_sweep.add_argument("--scenarios",
+                         choices=("cached", "uncached", "both"),
+                         default="both",
+                         help="which Tab.-I columns to run (default: both)")
+    _add_solver_flags(p_sweep)
+    p_sweep.set_defaults(func=cmd_sweep)
 
     p_att = sub.add_parser("attack", help="simulator-level attack")
     p_att.add_argument("kind", choices=("orc", "meltdown"))
     _add_common(p_att)
     p_att.add_argument("--secret", default="0x6B")
+    _add_output_flags(p_att)
     p_att.set_defaults(func=cmd_attack)
 
     return parser

@@ -48,6 +48,24 @@ class Alert:
         )
         return f"{kind} at t+{self.frame}: {regs}"
 
+    def to_dict(self, include_witness: bool = True) -> Dict:
+        """JSON-serializable form (register objects flatten to names)."""
+        data = {
+            "kind": self.kind,
+            "frame": self.frame,
+            "diffs": [
+                {"reg": reg.name, "arch": bool(reg.arch),
+                 "v1": v1, "v2": v2}
+                for reg, v1, v2 in self.diffs
+            ],
+        }
+        if include_witness:
+            data["witness"] = [
+                {name: list(pair) for name, pair in frame.items()}
+                for frame in self.witness
+            ]
+        return data
+
     def render_witness(self, signals: List[str] = None) -> str:
         """Side-by-side trace of both instances for the differing signals."""
         if not self.witness:

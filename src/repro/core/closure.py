@@ -55,6 +55,16 @@ class ClosureObligation:
     holds: bool
     counterexample: Optional[List[Tuple[Reg, int, int]]] = None
 
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "holds": self.holds,
+            "counterexample": None if self.counterexample is None else [
+                {"reg": reg.name, "v1": v1, "v2": v2}
+                for reg, v1, v2 in self.counterexample
+            ],
+        }
+
 
 @dataclass
 class ClosureResult:
@@ -67,6 +77,14 @@ class ClosureResult:
 
     def failed(self) -> List[ClosureObligation]:
         return [ob for ob in self.obligations if not ob.holds]
+
+    def to_dict(self) -> Dict:
+        return {
+            "holds": self.holds,
+            "obligations": [ob.to_dict() for ob in self.obligations],
+            "runtime_s": self.runtime_s,
+            "stats": dict(self.stats),
+        }
 
     def describe(self) -> str:
         status = "INDUCTIVE (secure for unbounded time)" if self.holds \
@@ -87,10 +105,14 @@ class InductiveDiffProof:
         scenario: UpecScenario,
         invariant: Sequence[CondEq],
         simplify: bool = True,
+        engine=None,
     ) -> None:
         self.soc = soc
         self.scenario = scenario
         self.simplify = simplify
+        from repro.engine.pool import resolve_engine
+
+        self.engine = resolve_engine(engine)
         self.invariant = list(invariant)
         domain = {entry.reg for entry in self.invariant}
         for entry in self.invariant:
@@ -115,8 +137,15 @@ class InductiveDiffProof:
     def check_step(
         self, conflict_limit: Optional[int] = None
     ) -> ClosureResult:
-        """Prove the induction step by SAT (one obligation per register)."""
+        """Prove the induction step by SAT (one obligation per register).
+
+        The per-register obligations are mutually independent; with an
+        engine they are exported as proof obligations and solved on the
+        worker pool (and served from the proof cache on re-runs).
+        """
         start = time.perf_counter()
+        engine_since = self.engine.stats() if self.engine is not None \
+            else None
         soc = self.soc
         cond_eq: Dict[Reg, Optional[Expr]] = {
             entry.reg: entry.cond for entry in self.invariant
@@ -126,7 +155,26 @@ class InductiveDiffProof:
         model.assume_window(1)
         context = model.context
         aig = context.aig
-        obligations: List[ClosureObligation] = []
+        engine = self.engine
+        #: (name, target literal, exported obligation or None) per check,
+        #: in legacy solve order.
+        tasks: List[Tuple[str, int, Optional[object]]] = []
+
+        def add_task(name: str, target: int) -> None:
+            exported = None
+            if engine is not None and target != 0:
+                exported = context.export_obligation(
+                    name=f"closure[{soc.config.name}] {name}",
+                    assumptions=[target], conflict_limit=conflict_limit,
+                    meta={
+                        "kind": "closure-step",
+                        "design": soc.config.name,
+                        "scenario": self.scenario.describe(),
+                        "obligation": name,
+                        "invariant": [e.reg.name for e in self.invariant],
+                    },
+                )
+            tasks.append((name, target, exported))
 
         secret_regs = {soc.secret_mem_reg}
         if self.scenario.secret_in_cache:
@@ -134,22 +182,6 @@ class InductiveDiffProof:
             # scenario caches the secret; otherwise it must stay equal like
             # any other register (unless the invariant allows it).
             secret_regs.add(soc.secret_cache_data_reg)
-
-        def solve_diff(name: str, target: int) -> ClosureObligation:
-            if target == 0:
-                # Structurally impossible difference — no SAT call needed.
-                return ClosureObligation(name=name, holds=True)
-            outcome = context.solve(
-                assumptions=[target], conflict_limit=conflict_limit
-            )
-            if outcome is None:
-                return ClosureObligation(name=name, holds=False,
-                                         counterexample=None)
-            if outcome:
-                cex = model.differing_regs(1)
-                return ClosureObligation(name=name, holds=False,
-                                         counterexample=cex)
-            return ClosureObligation(name=name, holds=True)
 
         for reg in soc.circuit.regs.values():
             if reg in secret_regs:
@@ -162,15 +194,10 @@ class InductiveDiffProof:
                 cond_both = aig.and_(
                     model.u1.expr_lit(cond, 1), model.u2.expr_lit(cond, 1)
                 )
-                target = aig.and_(diff1, cond_both ^ 1)
-                obligations.append(
-                    solve_diff(f"{reg.name} differs outside its blocking "
-                               f"condition", target)
-                )
+                add_task(f"{reg.name} differs outside its blocking "
+                         f"condition", aig.and_(diff1, cond_both ^ 1))
             else:
-                obligations.append(
-                    solve_diff(f"{reg.name} must stay equal", diff1)
-                )
+                add_task(f"{reg.name} must stay equal", diff1)
 
         # Assumption re-establishment: the invariant's side conditions
         # (protection configuration, no ongoing protected refill) must
@@ -184,13 +211,73 @@ class InductiveDiffProof:
         ):
             for unroller, tag in ((model.u1, "i1"), (model.u2, "i2")):
                 violated = unroller.expr_lit(expr, 1) ^ 1
-                obligations.append(
-                    solve_diff(f"{name} re-established at t+1 ({tag})",
-                               violated)
-                )
+                add_task(f"{name} re-established at t+1 ({tag})", violated)
 
+        obligations = (
+            self._solve_tasks_engine(model, tasks)
+            if engine is not None
+            else self._solve_tasks_inline(model, tasks, conflict_limit)
+        )
         holds = all(ob.holds for ob in obligations)
+        stats = dict(model.stats())
+        if engine is not None:
+            stats.update(engine.stats(since=engine_since))
         return ClosureResult(
             holds=holds, obligations=obligations,
-            runtime_s=time.perf_counter() - start, stats=model.stats(),
+            runtime_s=time.perf_counter() - start, stats=stats,
         )
+
+    def _solve_tasks_inline(
+        self,
+        model: UpecModel,
+        tasks: Sequence[Tuple[str, int, Optional[object]]],
+        conflict_limit: Optional[int],
+    ) -> List[ClosureObligation]:
+        """Sequential solving on the model's incremental solver."""
+        context = model.context
+        obligations: List[ClosureObligation] = []
+        for name, target, _ in tasks:
+            if target == 0:
+                # Structurally impossible difference — no SAT call needed.
+                obligations.append(ClosureObligation(name=name, holds=True))
+                continue
+            outcome = context.solve(
+                assumptions=[target], conflict_limit=conflict_limit
+            )
+            if outcome is None:
+                obligations.append(ClosureObligation(
+                    name=name, holds=False, counterexample=None))
+            elif outcome:
+                cex = model.differing_regs(1)
+                obligations.append(ClosureObligation(
+                    name=name, holds=False, counterexample=cex))
+            else:
+                obligations.append(ClosureObligation(name=name, holds=True))
+        return obligations
+
+    def _solve_tasks_engine(
+        self,
+        model: UpecModel,
+        tasks: Sequence[Tuple[str, int, Optional[object]]],
+    ) -> List[ClosureObligation]:
+        """Batch the per-register obligations onto the engine's pool."""
+        pending = [exported for _, target, exported in tasks
+                   if target != 0]
+        verdicts = iter(self.engine.solve_ordered(pending))
+        obligations: List[ClosureObligation] = []
+        for name, target, _ in tasks:
+            if target == 0:
+                obligations.append(ClosureObligation(name=name, holds=True))
+                continue
+            verdict = next(verdicts)
+            if verdict.unsat:
+                obligations.append(ClosureObligation(name=name, holds=True))
+            elif verdict.sat:
+                model.context.adopt_model(verdict.model_list())
+                cex = model.differing_regs(1)
+                obligations.append(ClosureObligation(
+                    name=name, holds=False, counterexample=cex))
+            else:
+                obligations.append(ClosureObligation(
+                    name=name, holds=False, counterexample=None))
+        return obligations

@@ -63,9 +63,29 @@ class MethodologyResult:
             lines.append("L-alert: " + self.l_alert.describe())
         return "\n".join(lines)
 
+    def to_dict(self) -> Dict:
+        return {
+            "verdict": self.verdict,
+            "k": self.k,
+            "p_alerts": [alert.to_dict() for alert in self.p_alerts],
+            "l_alert": self.l_alert.to_dict() if self.l_alert is not None
+            else None,
+            "iterations": self.iterations,
+            "runtime_s": self.runtime_s,
+            "removed_regs": list(self.removed_regs),
+            "stats": dict(self.stats),
+        }
+
 
 class UpecMethodology:
-    """Run the iterative UPEC flow on one SoC and scenario."""
+    """Run the iterative UPEC flow on one SoC and scenario.
+
+    ``engine`` (or the ``jobs``/``cache_dir`` shorthands, or the
+    ``REPRO_ENGINE_JOBS``/``REPRO_ENGINE_CACHE`` environment defaults)
+    routes every property check through the obligation scheduler of
+    :mod:`repro.engine`: frames solve on a worker pool and verdicts are
+    re-used from the persistent proof cache across runs.
+    """
 
     def __init__(
         self,
@@ -73,16 +93,42 @@ class UpecMethodology:
         scenario: UpecScenario,
         conflict_limit: Optional[int] = None,
         simplify: bool = True,
+        engine=None,
+        jobs: Optional[int] = None,
+        cache_dir: Optional[str] = None,
     ) -> None:
         self.soc = soc
         self.scenario = scenario
         self.conflict_limit = conflict_limit
         self.simplify = simplify
+        from repro.engine.pool import ProofEngine, resolve_engine
+
+        if engine is None and (jobs is not None or cache_dir is not None):
+            engine = ProofEngine(jobs=jobs, cache_dir=cache_dir)
+        self.engine = resolve_engine(engine)
+
+    def _stats(self, model: UpecModel) -> Dict[str, int]:
+        stats = dict(model.stats())
+        if self.engine is not None:
+            # Relative to the run's start, so a shared engine (the
+            # environment-default singleton, a sweep's engine) reports
+            # this run's work rather than its lifetime totals.
+            stats.update(self.engine.stats(since=self._engine_since))
+        return stats
 
     def run(self, k: int, max_iterations: int = 64) -> MethodologyResult:
         start = time.perf_counter()
+        self._engine_since = self.engine.stats() if self.engine is not None \
+            else None
         model = UpecModel(self.soc, self.scenario, simplify=self.simplify)
-        checker = UpecChecker(model)
+        # Pass the resolved engine down verbatim: a methodology that
+        # resolved to the legacy path must not let the checker re-consult
+        # the environment defaults.
+        from repro.engine.pool import INLINE
+
+        checker = UpecChecker(
+            model, engine=self.engine if self.engine is not None else INLINE
+        )
         commitment: List[Reg] = model.default_commitment()
         p_alerts: List[Alert] = []
         removed: List[str] = []
@@ -101,14 +147,14 @@ class UpecMethodology:
                     verdict=UNDECIDED, k=k, p_alerts=p_alerts,
                     iterations=iterations,
                     runtime_s=time.perf_counter() - start,
-                    removed_regs=removed, stats=model.stats(),
+                    removed_regs=removed, stats=self._stats(model),
                 )
             if result.status != ALERT:
                 return MethodologyResult(
                     verdict=SECURE_BOUNDED, k=k, p_alerts=p_alerts,
                     iterations=iterations,
                     runtime_s=time.perf_counter() - start,
-                    removed_regs=removed, stats=model.stats(),
+                    removed_regs=removed, stats=self._stats(model),
                 )
             alert = result.alert
             if alert.is_l_alert:
@@ -116,7 +162,7 @@ class UpecMethodology:
                     verdict=INSECURE, k=k, p_alerts=p_alerts, l_alert=alert,
                     iterations=iterations,
                     runtime_s=time.perf_counter() - start,
-                    removed_regs=removed, stats=model.stats(),
+                    removed_regs=removed, stats=self._stats(model),
                 )
             # P-alert: record it and drop the affected registers from the
             # commitment (the proof assumption keeps the full state).
@@ -128,5 +174,5 @@ class UpecMethodology:
         return MethodologyResult(
             verdict=UNDECIDED, k=k, p_alerts=p_alerts,
             iterations=iterations, runtime_s=time.perf_counter() - start,
-            removed_regs=removed, stats=model.stats(),
+            removed_regs=removed, stats=self._stats(model),
         )

@@ -222,6 +222,35 @@ class UpecModel:
         aig = self.context.aig
         return aig.or_all(self.pair_diff_lit(reg, frame) for reg in regs)
 
+    def frame_obligation(
+        self,
+        regs: Sequence[Reg],
+        frame: int,
+        conflict_limit: Optional[int] = None,
+    ):
+        """Export the frame's commitment check as a self-contained
+        :class:`repro.engine.obligation.ProofObligation`.
+
+        Returns None when structural hashing already folded every pair to
+        equality (the frame is proved without a SAT call).
+        """
+        self.assume_window(frame)
+        target = self.commitment_diff_lit(regs, frame)
+        if target == 0:
+            return None
+        return self.context.export_obligation(
+            name=f"upec[{self.soc.config.name}]@t{frame}",
+            assumptions=[target],
+            conflict_limit=conflict_limit,
+            meta={
+                "kind": "upec-frame",
+                "design": self.soc.config.name,
+                "scenario": self.scenario.describe(),
+                "frame": frame,
+                "commitment": [reg.name for reg in regs],
+            },
+        )
+
     # ------------------------------------------------------------------
     # Witness extraction
     # ------------------------------------------------------------------

@@ -50,12 +50,36 @@ class UpecCheckResult:
             return f"inconclusive at k={self.k} (conflict limit)"
         return f"{self.alert.describe()} ({self.runtime_s:.2f}s)"
 
+    def to_dict(self) -> Dict:
+        return {
+            "status": self.status,
+            "k": self.k,
+            "alert": self.alert.to_dict() if self.alert is not None else None,
+            "runtime_s": self.runtime_s,
+            "checked_frames": self.checked_frames,
+            "stats": dict(self.stats),
+        }
+
 
 class UpecChecker:
-    """Incrementally checks the UPEC property over one miter model."""
+    """Checks the UPEC property over one miter model.
 
-    def __init__(self, model: UpecModel) -> None:
+    Without an ``engine`` the frames are solved incrementally on the
+    model's in-process solver.  With an ``engine``
+    (:class:`repro.engine.ProofEngine`) each frame becomes a
+    self-contained proof obligation: frames are solved on the engine's
+    worker pool (all siblings in flight at once, cancelled as soon as an
+    earlier frame alerts) and verdicts may come from its persistent
+    cache.  Both modes report the lowest alerting frame, so verdicts are
+    identical; an unset engine falls back to the environment default
+    (``REPRO_ENGINE_JOBS`` / ``REPRO_ENGINE_CACHE``).
+    """
+
+    def __init__(self, model: UpecModel, engine=None) -> None:
         self.model = model
+        from repro.engine.pool import resolve_engine
+
+        self.engine = resolve_engine(engine)
 
     def check(
         self,
@@ -72,6 +96,10 @@ class UpecChecker:
         regs = list(commitment) if commitment is not None \
             else model.default_commitment()
         start = time.perf_counter()
+        if self.engine is not None:
+            return self._check_engine(
+                k, regs, start_frame, conflict_limit, witness_signals, start
+            )
         checked = 0
         for t in range(start_frame, k + 1):
             model.assume_window(t)
@@ -103,6 +131,73 @@ class UpecChecker:
         return UpecCheckResult(
             status=PROVED, k=k, runtime_s=time.perf_counter() - start,
             checked_frames=checked, stats=model.stats(),
+        )
+
+    def _engine_stats(self, since: Dict[str, int]) -> Dict[str, int]:
+        stats = dict(self.model.stats())
+        stats.update(self.engine.stats(since=since))
+        return stats
+
+    def _check_engine(
+        self,
+        k: int,
+        regs: Sequence[Reg],
+        start_frame: int,
+        conflict_limit: Optional[int],
+        witness_signals: bool,
+        start: float,
+    ) -> UpecCheckResult:
+        """Obligation-based frame checks via the scheduler/cache engine.
+
+        Obligations for every frame of the window are exported *before*
+        solving, at any jobs setting.  This does unroll past an early
+        alert (unlike the legacy incremental path), but it is what makes
+        the engine deterministic across worker counts: obligation
+        content depends on the shared CNF mapper's emission history, so
+        jobs=1 and jobs=N must grow the model identically or their
+        obligation streams — and hence counterexample models — would
+        diverge from the second methodology iteration on.  The cost is
+        bounded by the window length and is repaid by sibling-frame
+        parallelism and by cache hits on re-runs.
+        """
+        model = self.model
+        since = self.engine.stats()
+        frames = list(range(start_frame, k + 1))
+        obligations = [
+            model.frame_obligation(regs, t, conflict_limit) for t in frames
+        ]
+        pending = [ob for ob in obligations if ob is not None]
+        verdicts = iter(self.engine.solve_ordered(
+            pending, early_stop=lambda v: not v.unsat
+        ))
+        checked = 0
+        for t, obligation in zip(frames, obligations):
+            checked += 1
+            if obligation is None:
+                # Structural hashing folded every pair to equality: the
+                # commitment cannot differ at this frame (no SAT needed).
+                continue
+            verdict = next(verdicts)
+            if verdict is None or verdict.unsat:
+                continue
+            if not verdict.sat:
+                return UpecCheckResult(
+                    status=INCONCLUSIVE, k=t,
+                    runtime_s=time.perf_counter() - start,
+                    checked_frames=checked, stats=self._engine_stats(since),
+                )
+            model.context.adopt_model(verdict.model_list())
+            diffs = model.differing_regs(t, regs)
+            witness = model.witness_frames(t) if witness_signals else []
+            alert = classify(t, diffs, witness)
+            return UpecCheckResult(
+                status=ALERT, k=t, alert=alert,
+                runtime_s=time.perf_counter() - start,
+                checked_frames=checked, stats=self._engine_stats(since),
+            )
+        return UpecCheckResult(
+            status=PROVED, k=k, runtime_s=time.perf_counter() - start,
+            checked_frames=checked, stats=self._engine_stats(since),
         )
 
     def find_first_alert_window(

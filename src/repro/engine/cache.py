@@ -1,0 +1,71 @@
+"""Persistent proof-result store.
+
+Verdicts are keyed by the obligation's content fingerprint (circuit
+slice + scenario assumptions + commitment target are all part of the
+exported CNF, so the key identifies the proof up to bit-level identity).
+Each verdict lives in its own JSON file, written atomically, so many
+worker processes can share one cache directory without locking.
+
+Only definite verdicts (sat/unsat) are stored: an ``unknown`` outcome
+depends on the conflict limit of the run that produced it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, Optional
+
+from repro.engine.obligation import UNKNOWN, ProofObligation, Verdict
+
+
+class ResultCache:
+    """On-disk obligation-verdict store (one JSON file per fingerprint)."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    def _path(self, fingerprint: str) -> str:
+        return os.path.join(self.root, f"{fingerprint}.json")
+
+    def lookup(self, obligation: ProofObligation) -> Optional[Verdict]:
+        """Return the stored verdict for an obligation, or None."""
+        path = self._path(obligation.fingerprint())
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        try:
+            verdict = Verdict.from_dict(data["verdict"])
+        except (KeyError, TypeError, ValueError):
+            return None
+        verdict.cached = True
+        return verdict
+
+    def store(self, obligation: ProofObligation, verdict: Verdict) -> None:
+        """Persist a definite verdict (atomic write; unknowns are skipped)."""
+        if verdict.status == UNKNOWN or verdict.cached:
+            return
+        payload: Dict[str, Any] = {
+            "verdict": verdict.to_dict(),
+            "meta": obligation.meta,
+            "size": obligation.size(),
+        }
+        path = self._path(verdict.fingerprint)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def __len__(self) -> int:
+        return sum(1 for name in os.listdir(self.root)
+                   if name.endswith(".json"))

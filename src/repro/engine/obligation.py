@@ -1,0 +1,177 @@
+"""Serializable proof obligations and their verdicts.
+
+A :class:`ProofObligation` is a self-contained SAT problem: a DIMACS
+clause slice snapshotted from a :class:`repro.formal.bmc.SatContext`,
+the per-query assumption literals, the witness-frozen variables and a
+metadata dict describing what the query proves (design, scenario,
+commitment, frame).  Because it carries everything the solver needs, it
+can be shipped to a worker process, hashed for a persistent result
+cache, or replayed for debugging.
+
+:func:`solve_obligation` is the pure solving function: same obligation
+in, same :class:`Verdict` out, regardless of which process runs it —
+this is what makes parallel and sequential engine runs bit-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from array import array
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.formal.preprocess import SimplifyingSolver
+from repro.formal.solver import CdclSolver
+
+SAT = "sat"
+UNSAT = "unsat"
+UNKNOWN = "unknown"
+
+_FINGERPRINT_SALT = b"upec-obligation-v1"
+
+
+def pack_model(values: Sequence[bool]) -> bytes:
+    """Pack a model (list of bools, index 0 unused) into bytes, LSB first."""
+    packed = bytearray((len(values) + 7) // 8)
+    for i, value in enumerate(values):
+        if value:
+            packed[i >> 3] |= 1 << (i & 7)
+    return bytes(packed)
+
+
+def unpack_model(data: bytes, nvars: int) -> List[bool]:
+    """Inverse of :func:`pack_model`; returns ``nvars + 1`` entries."""
+    return [bool(data[i >> 3] >> (i & 7) & 1) if (i >> 3) < len(data)
+            else False
+            for i in range(nvars + 1)]
+
+
+@dataclass
+class ProofObligation:
+    """One independent SAT query, detached from the context that built it."""
+
+    name: str
+    nvars: int
+    clauses: List[List[int]]
+    assumptions: List[int]
+    frozen: List[int] = field(default_factory=list)
+    simplify: bool = True
+    conflict_limit: Optional[int] = None
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def fingerprint(self) -> str:
+        """Content hash of the formula (clauses + assumptions + frozen set
+        + solver configuration).  The conflict limit is excluded: a
+        definite sat/unsat verdict is valid under any limit."""
+        h = hashlib.sha256(_FINGERPRINT_SALT)
+        h.update(b"1" if self.simplify else b"0")
+        h.update(array("q", [self.nvars]).tobytes())
+        for clause in self.clauses:
+            h.update(array("q", clause).tobytes())
+            h.update(b";")
+        h.update(b"|a|")
+        h.update(array("q", self.assumptions).tobytes())
+        h.update(b"|f|")
+        h.update(array("q", sorted(self.frozen)).tobytes())
+        return h.hexdigest()
+
+    def size(self) -> Dict[str, int]:
+        return {
+            "nvars": self.nvars,
+            "clauses": len(self.clauses),
+            "literals": sum(len(c) for c in self.clauses),
+        }
+
+
+@dataclass
+class Verdict:
+    """Result of solving one obligation."""
+
+    status: str                       # sat | unsat | unknown
+    obligation: str                   # name of the obligation
+    fingerprint: str
+    model: Optional[bytes] = None     # packed model bits on SAT
+    nvars: int = 0
+    runtime_s: float = 0.0
+    stats: Dict[str, int] = field(default_factory=dict)
+    cached: bool = False
+
+    @property
+    def sat(self) -> bool:
+        return self.status == SAT
+
+    @property
+    def unsat(self) -> bool:
+        return self.status == UNSAT
+
+    def model_list(self) -> List[bool]:
+        """The model as a list indexed by DIMACS variable (0 unused)."""
+        if self.model is None:
+            raise ValueError(f"verdict {self.obligation!r} has no model "
+                             f"(status {self.status})")
+        return unpack_model(self.model, self.nvars)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "status": self.status,
+            "obligation": self.obligation,
+            "fingerprint": self.fingerprint,
+            "model": self.model.hex() if self.model is not None else None,
+            "nvars": self.nvars,
+            "runtime_s": self.runtime_s,
+            "stats": dict(self.stats),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Verdict":
+        model = data.get("model")
+        return cls(
+            status=data["status"],
+            obligation=data["obligation"],
+            fingerprint=data["fingerprint"],
+            model=bytes.fromhex(model) if model is not None else None,
+            nvars=data.get("nvars", 0),
+            runtime_s=data.get("runtime_s", 0.0),
+            stats=dict(data.get("stats", {})),
+        )
+
+
+def solve_obligation(obligation: ProofObligation) -> Verdict:
+    """Solve one obligation on a fresh solver (pure; picklable for
+    worker processes)."""
+    start = time.perf_counter()
+    solver = SimplifyingSolver() if obligation.simplify else CdclSolver()
+    for _ in range(obligation.nvars):
+        solver.new_var()
+    freeze = getattr(solver, "freeze_var", None)
+    if freeze is not None:
+        for var in obligation.frozen:
+            freeze(var)
+    solver.add_clauses(obligation.clauses)
+    outcome = solver.solve(
+        assumptions=obligation.assumptions,
+        conflict_limit=obligation.conflict_limit,
+    )
+    stats = solver.stats.as_dict()
+    simp = getattr(solver, "simplify_stats", None)
+    if simp is not None:
+        for key, value in simp.as_dict().items():
+            stats[f"simplify_{key}"] = value
+    model: Optional[bytes] = None
+    if outcome is True:
+        model = pack_model(solver.model())
+        status = SAT
+    elif outcome is False:
+        status = UNSAT
+    else:
+        status = UNKNOWN
+    return Verdict(
+        status=status,
+        obligation=obligation.name,
+        fingerprint=obligation.fingerprint(),
+        model=model,
+        nvars=obligation.nvars,
+        runtime_s=time.perf_counter() - start,
+        stats=stats,
+    )

@@ -1,0 +1,214 @@
+"""Scenario sweeps: whole Tab.-I/II grids as one batch job.
+
+A sweep cell is (design variant x scenario x window length); each cell
+runs the full Fig.-5 methodology.  Cells are completely independent, so
+the sweep schedules them across worker processes — this is the
+coarse-grained sibling of the per-frame obligation parallelism in
+:mod:`repro.engine.pool`, and the two compose with the persistent proof
+cache (workers share one cache directory; re-runs of a grid skip every
+already-proved obligation).
+
+Workers rebuild the SoC from the variant name, so only plain data
+crosses the process boundary (no circuit pickling).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.soc.config import VARIANTS
+
+
+@dataclass
+class SweepCell:
+    """One (variant, scenario, k) grid point."""
+
+    variant: str
+    scenario_kwargs: Dict[str, Any]
+    k: int
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            cached = self.scenario_kwargs.get("secret_in_cache", True)
+            self.label = (f"{self.variant}/"
+                          f"{'cached' if cached else 'uncached'}/k={self.k}")
+
+
+@dataclass
+class SweepOutcome:
+    """A cell plus its (JSON-serializable) methodology result."""
+
+    cell: SweepCell
+    result: Dict[str, Any]
+    runtime_s: float = 0.0
+
+    @property
+    def verdict(self) -> str:
+        return self.result["verdict"]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.cell.label,
+            "variant": self.cell.variant,
+            "scenario": dict(self.cell.scenario_kwargs),
+            "k": self.cell.k,
+            "runtime_s": self.runtime_s,
+            "result": self.result,
+        }
+
+
+@dataclass
+class SweepResult:
+    """All outcomes of one grid run, in cell order."""
+
+    outcomes: List[SweepOutcome] = field(default_factory=list)
+    runtime_s: float = 0.0
+    jobs: int = 1
+
+    def verdicts(self) -> Dict[str, str]:
+        return {out.cell.label: out.verdict for out in self.outcomes}
+
+    def any_insecure(self) -> bool:
+        return any(out.verdict == "insecure" for out in self.outcomes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "jobs": self.jobs,
+            "runtime_s": self.runtime_s,
+            "cells": [out.to_dict() for out in self.outcomes],
+        }
+
+    def rows(self) -> List[List[Any]]:
+        """Rows for a Tab.-I style report table."""
+        rows = []
+        for out in self.outcomes:
+            result = out.result
+            rows.append([
+                out.cell.label,
+                result["verdict"],
+                result["iterations"],
+                len(result["p_alerts"]),
+                f"{out.runtime_s:.2f}s",
+            ])
+        return rows
+
+
+def _run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker body: rebuild the SoC, run the methodology, return dicts.
+
+    Imports stay inside the function so the engine package has no
+    import-time dependency on :mod:`repro.core` (which itself imports the
+    engine's obligation layer).
+    """
+    from repro.core.methodology import UpecMethodology
+    from repro.core.model import UpecScenario
+    from repro.engine.pool import INLINE, ProofEngine
+    from repro.soc import SocConfig, build_soc
+    from repro.soc.config import FORMAL_CONFIG_KWARGS
+
+    start = time.perf_counter()
+    config = getattr(SocConfig, payload["variant"])(**FORMAL_CONFIG_KWARGS)
+    soc = build_soc(config)
+    scenario = UpecScenario(**payload["scenario"])
+    # With a cache directory the cell takes the obligation path (jobs=1,
+    # in-process) so verdicts persist; otherwise the incremental
+    # in-context solver is used.  Never the environment defaults: pools
+    # must not nest inside sweep workers.
+    engine = ProofEngine(jobs=1, cache_dir=payload["cache_dir"]) \
+        if payload["cache_dir"] else INLINE
+    methodology = UpecMethodology(
+        soc, scenario,
+        conflict_limit=payload["conflict_limit"],
+        simplify=payload["simplify"],
+        engine=engine,
+    )
+    result = methodology.run(k=payload["k"],
+                             max_iterations=payload["max_iterations"])
+    return {
+        "result": result.to_dict(),
+        "runtime_s": time.perf_counter() - start,
+    }
+
+
+class ScenarioSweep:
+    """Run a grid of methodology cells across worker processes."""
+
+    def __init__(
+        self,
+        cells: Sequence[SweepCell],
+        simplify: bool = True,
+        conflict_limit: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+        max_iterations: int = 64,
+    ) -> None:
+        self.cells = list(cells)
+        self.simplify = simplify
+        self.conflict_limit = conflict_limit
+        self.cache_dir = cache_dir
+        self.max_iterations = max_iterations
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def table1_grid(
+        cls,
+        variants: Sequence[str] = VARIANTS,
+        k: int = 2,
+        cached: bool = True,
+        uncached: bool = True,
+        **kwargs,
+    ) -> "ScenarioSweep":
+        """The Tab.-I grid: every variant in the 'D in cache' and
+        'D not in cache' scenarios."""
+        from repro.core.model import UpecScenario
+
+        cells = []
+        for variant in variants:
+            scenarios = []
+            if cached:
+                scenarios.append(UpecScenario(secret_in_cache=True))
+            if uncached:
+                scenarios.append(UpecScenario(secret_in_cache=False))
+            for scenario in scenarios:
+                cells.append(SweepCell(
+                    variant=variant,
+                    scenario_kwargs=asdict(scenario),
+                    k=k,
+                ))
+        return cls(cells, **kwargs)
+
+    # ------------------------------------------------------------------
+    def _payload(self, cell: SweepCell) -> Dict[str, Any]:
+        return {
+            "variant": cell.variant,
+            "scenario": dict(cell.scenario_kwargs),
+            "k": cell.k,
+            "simplify": self.simplify,
+            "conflict_limit": self.conflict_limit,
+            "cache_dir": self.cache_dir,
+            "max_iterations": self.max_iterations,
+        }
+
+    def run(self, jobs: int = 1) -> SweepResult:
+        """Execute every cell; in-process at ``jobs=1``."""
+        start = time.perf_counter()
+        jobs = max(1, int(jobs))
+        payloads = [self._payload(cell) for cell in self.cells]
+        if jobs == 1 or len(payloads) <= 1:
+            raw = [_run_cell(payload) for payload in payloads]
+        else:
+            with ProcessPoolExecutor(max_workers=jobs) as executor:
+                raw = list(executor.map(_run_cell, payloads))
+        outcomes = [
+            SweepOutcome(cell=cell, result=data["result"],
+                         runtime_s=data["runtime_s"])
+            for cell, data in zip(self.cells, raw)
+        ]
+        return SweepResult(
+            outcomes=outcomes,
+            runtime_s=time.perf_counter() - start,
+            jobs=jobs,
+        )

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import FormalError
 from repro.formal.aig import Aig, CnfMapper
@@ -25,22 +25,123 @@ from repro.hdl.circuit import Circuit
 from repro.hdl.expr import Expr, Reg
 
 
+class ClauseLog:
+    """Transparent solver proxy that records the asserted CNF.
+
+    :class:`SatContext` routes every clause through this wrapper so the
+    full problem formula is available as data — that is what lets a
+    context *export* self-contained proof obligations instead of only
+    solving them in place.  The log also supports adopting a model that
+    was computed elsewhere (by a worker process or a cache hit), so
+    witness extraction reads external models through the exact same
+    ``model_value`` path as in-process ones.
+    """
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+        self.clauses: List[List[int]] = []
+        self.frozen: Set[int] = set()
+        self._adopted: Optional[List[bool]] = None
+        if hasattr(inner, "freeze_var"):
+            # Only advertise freezing when the inner solver supports it:
+            # CnfMapper.freeze_lit probes with getattr and must keep
+            # skipping cone emission for plain CDCL contexts.
+            self.freeze_var = self._freeze_var
+
+    def add_clause(self, lits) -> bool:
+        # The inner solvers build their own normalized copies, so the
+        # log can keep the caller's list (CnfMapper always passes fresh
+        # ones) instead of copying every clause on the emission path.
+        clause = lits if type(lits) is list else list(lits)
+        self.clauses.append(clause)
+        return self.inner.add_clause(clause)
+
+    def add_clauses(self, clauses) -> bool:
+        ok = True
+        for clause in clauses:
+            ok = self.add_clause(clause) and ok
+        return ok
+
+    def _freeze_var(self, var: int) -> None:
+        self.frozen.add(var)
+        self.inner.freeze_var(var)
+
+    def solve(self, assumptions: Sequence[int] = (),
+              conflict_limit: Optional[int] = None) -> Optional[bool]:
+        self._adopted = None
+        return self.inner.solve(assumptions=assumptions,
+                                conflict_limit=conflict_limit)
+
+    def adopt_model(self, model: Sequence[bool]) -> None:
+        """Install an externally computed model; ``model_value`` reads it
+        until the next in-process ``solve``."""
+        self._adopted = list(model)
+
+    def model_value(self, lit: int) -> bool:
+        if self._adopted is not None:
+            var = abs(lit)
+            value = self._adopted[var] if var < len(self._adopted) else False
+            return value if lit > 0 else not value
+        return self.inner.model_value(lit)
+
+    def __getattr__(self, name: str):
+        return getattr(self.inner, name)
+
+
 class SatContext:
     """Shared AIG + CNF + solver state for a sequence of related queries.
 
     With ``simplify=True`` (the default) the CNF goes through the
     SatELite-style pre-/inprocessor of :mod:`repro.formal.preprocess`
     before every search; ``simplify=False`` solves the raw Tseitin CNF.
+
+    Queries can either be solved in place (:meth:`solve`, incremental)
+    or exported as self-contained :class:`ProofObligation` values
+    (:meth:`export_obligation`) for the scheduler/cache layers of
+    :mod:`repro.engine`.
     """
 
     def __init__(self, simplify: bool = True) -> None:
         self.aig = Aig()
-        self.solver = SimplifyingSolver() if simplify else CdclSolver()
+        self.simplify = simplify
+        self.solver = ClauseLog(
+            SimplifyingSolver() if simplify else CdclSolver()
+        )
         self.mapper = CnfMapper(self.aig, self.solver)
 
     def assert_lit(self, lit: int) -> None:
         """Permanently assert an AIG literal."""
         self.mapper.assert_true(lit)
+
+    def export_obligation(
+        self,
+        name: str,
+        assumptions: Sequence[int] = (),
+        conflict_limit: Optional[int] = None,
+        meta: Optional[Dict[str, Any]] = None,
+    ):
+        """Snapshot the current formula plus AIG-literal assumptions as a
+        serializable :class:`repro.engine.obligation.ProofObligation`."""
+        from repro.engine.obligation import ProofObligation
+
+        # Mapping the assumptions may emit their cones; do it before the
+        # clause snapshot so the obligation is self-contained.
+        dimacs = [self.mapper.assumption(lit) for lit in assumptions]
+        log = self.solver
+        return ProofObligation(
+            name=name,
+            nvars=log.nvars,
+            clauses=list(log.clauses),
+            assumptions=dimacs,
+            frozen=sorted(log.frozen),
+            simplify=self.simplify,
+            conflict_limit=conflict_limit,
+            meta=dict(meta or {}),
+        )
+
+    def adopt_model(self, model: Sequence[bool]) -> None:
+        """Expose an external verdict's model to ``value``/``word_value``."""
+        self.solver.adopt_model(model)
 
     def solve(
         self,
@@ -110,13 +211,22 @@ class BmcResult:
 
 
 class BmcEngine:
-    """Bounded safety checking of one circuit."""
+    """Bounded safety checking of one circuit.
+
+    With ``engine`` set (a :class:`repro.engine.ProofEngine`), each
+    frame's query is exported as a proof obligation and dispatched to
+    the scheduler/cache layers; otherwise queries are solved on the
+    context's incremental in-process solver.
+    """
 
     def __init__(self, circuit: Circuit, init: str = "reset",
-                 simplify: bool = True) -> None:
+                 simplify: bool = True, engine=None) -> None:
         self.circuit = circuit.finalize()
         self.context = SatContext(simplify=simplify)
         self.unroller = Unroller(circuit, self.context.aig, init=init)
+        from repro.engine.pool import resolve_engine
+
+        self.engine = resolve_engine(engine)
 
     def extract_witness(self, depth: int, failed_frame: int) -> Witness:
         frames: List[Dict[str, int]] = []
@@ -151,6 +261,9 @@ class BmcEngine:
         for t in range(k + 1):
             for expr in assumptions:
                 self.context.assert_lit(self.unroller.expr_lit(expr, t))
+        if self.engine is not None:
+            return self._check_frames_engine(k, assertion, conflict_limit,
+                                             start)
         for t in range(k + 1):
             bad = self.unroller.expr_lit(assertion, t) ^ 1
             outcome = self.context.solve(
@@ -175,4 +288,42 @@ class BmcEngine:
             depth=k,
             runtime_s=time.perf_counter() - start,
             stats=self.context.stats(),
+        )
+
+    def _check_frames_engine(self, k: int, assertion: Expr,
+                             conflict_limit: Optional[int],
+                             start: float) -> BmcResult:
+        """Obligation-based frame checks via the scheduler/cache engine."""
+        since = self.engine.stats()
+        obligations = []
+        for t in range(k + 1):
+            bad = self.unroller.expr_lit(assertion, t) ^ 1
+            obligations.append(self.context.export_obligation(
+                name=f"bmc[{self.circuit.name}]@t{t}",
+                assumptions=[bad], conflict_limit=conflict_limit,
+                meta={"kind": "bmc-frame", "circuit": self.circuit.name,
+                      "frame": t, "k": k},
+            ))
+        verdicts = self.engine.solve_ordered(
+            obligations, early_stop=lambda v: not v.unsat
+        )
+        stats = dict(self.context.stats())
+        stats.update(self.engine.stats(since=since))
+        for t, verdict in enumerate(verdicts):
+            if verdict is None or verdict.unsat:
+                continue
+            if verdict.sat:
+                self.context.adopt_model(verdict.model_list())
+                witness = self.extract_witness(k, t)
+                return BmcResult(
+                    holds=False, depth=t, witness=witness,
+                    runtime_s=time.perf_counter() - start, stats=stats,
+                )
+            raise FormalError(
+                f"conflict limit exhausted at frame {t} "
+                f"(limit={conflict_limit})"
+            )
+        return BmcResult(
+            holds=True, depth=k,
+            runtime_s=time.perf_counter() - start, stats=stats,
         )

@@ -54,15 +54,27 @@ def prove_by_induction(
     assumptions: Sequence[Expr] = (),
     conflict_limit: Optional[int] = None,
     simplify: bool = True,
+    engine=None,
 ) -> InductionResult:
     """Attempt to prove ``AG prop`` (under per-cycle assumptions) by
-    k-induction."""
+    k-induction.
+
+    With ``engine`` set (a :class:`repro.engine.ProofEngine`), the base
+    case's frame checks and the step case are dispatched as proof
+    obligations (parallel frame checks, persistent result cache).
+    """
     if prop.width != 1:
         raise FormalError("property must be a 1-bit expression")
+    from repro.engine.pool import INLINE, resolve_engine
+
+    engine = resolve_engine(engine)
     start = time.perf_counter()
 
-    # Base case: BMC from reset for k cycles.
-    base_engine = BmcEngine(circuit, init="reset", simplify=simplify)
+    # Base case: BMC from reset for k cycles.  The resolved engine is
+    # passed down verbatim — a resolved legacy path becomes INLINE so
+    # the BMC engine does not re-consult the environment defaults.
+    base_engine = BmcEngine(circuit, init="reset", simplify=simplify,
+                            engine=engine if engine is not None else INLINE)
     base = base_engine.check_always(
         prop, k=k, assumptions=assumptions, conflict_limit=conflict_limit
     )
@@ -84,7 +96,17 @@ def prove_by_induction(
     for assume in assumptions:
         ctx.assert_lit(unroller.expr_lit(assume, k))
     bad = unroller.expr_lit(prop, k) ^ 1
-    outcome = ctx.solve(assumptions=[bad], conflict_limit=conflict_limit)
+    if engine is not None:
+        verdict = engine.solve(ctx.export_obligation(
+            name=f"induction[{circuit.name}]@step{k}",
+            assumptions=[bad], conflict_limit=conflict_limit,
+            meta={"kind": "induction-step", "circuit": circuit.name, "k": k},
+        ))
+        if verdict.sat:
+            ctx.adopt_model(verdict.model_list())
+        outcome = True if verdict.sat else (False if verdict.unsat else None)
+    else:
+        outcome = ctx.solve(assumptions=[bad], conflict_limit=conflict_limit)
     if outcome is None:
         raise FormalError("conflict limit exhausted in the induction step")
     if outcome:

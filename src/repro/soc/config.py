@@ -141,6 +141,11 @@ class SocConfig:
         return cls(name="pmp_bug", pmp_tor_lock=False, **kwargs)
 
 
+#: The design variants of the experiments, by constructor name (the CLI
+#: and the scenario sweeps both enumerate this).
+VARIANTS = ("secure", "orc", "meltdown", "pmp_bug")
+
+
 #: The small geometry used by the formal (UPEC) experiments — the SAT
 #: problems grow with memory sizes and window length, so the formal runs
 #: use the minimal geometry that still exhibits every covert channel.

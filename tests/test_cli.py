@@ -48,3 +48,75 @@ def test_parser_rejects_unknown_variant():
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_solver_flags_uniform_across_sat_commands():
+    """check / methodology / sweep share one solver flag set."""
+    parser = build_parser()
+    for argv in (
+        ["check", "secure", "--no-preprocess", "--stats", "--json",
+         "--jobs", "2", "--cache-dir", "/tmp/c", "--conflict-limit", "9"],
+        ["methodology", "secure", "--no-preprocess", "--stats", "--json",
+         "--jobs", "2", "--cache-dir", "/tmp/c", "--conflict-limit", "9"],
+        ["sweep", "--no-preprocess", "--stats", "--json",
+         "--jobs", "2", "--cache-dir", "/tmp/c", "--conflict-limit", "9"],
+    ):
+        args = parser.parse_args(argv)
+        assert args.no_preprocess and args.stats and args.json
+        assert args.jobs == 2 and args.cache_dir == "/tmp/c"
+        assert args.conflict_limit == 9
+    args = parser.parse_args(["attack", "orc", "secure", "--stats",
+                              "--json"])
+    assert args.stats and args.json
+
+
+def test_check_json_output(capsys):
+    import json
+
+    rc = main(["check", "orc", "--k", "1", "--json"])
+    data = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert data["status"] == "alert"
+    assert data["alert"]["kind"] == "P"
+    assert "scenario" in data
+
+
+def test_methodology_json_and_cache(tmp_path, capsys):
+    import json
+
+    cache_dir = str(tmp_path / "proofs")
+    rc = main(["methodology", "orc", "--k", "1", "--json",
+               "--cache-dir", cache_dir])
+    first = json.loads(capsys.readouterr().out)
+    assert rc == 2
+    assert first["verdict"] in ("insecure", "undecided", "secure_bounded")
+    assert first["stats"]["engine_cache_hits"] == 0
+    main(["methodology", "orc", "--k", "1", "--json",
+          "--cache-dir", cache_dir])
+    second = json.loads(capsys.readouterr().out)
+    assert second["stats"]["engine_cache_hits"] > 0
+    assert second["verdict"] == first["verdict"]
+    assert second["p_alerts"] == first["p_alerts"]
+
+
+def test_sweep_command(capsys):
+    rc = main(["sweep", "--variants", "secure,orc", "--k", "1",
+               "--scenarios", "cached"])
+    out = capsys.readouterr().out
+    assert rc == 2  # the orc bypass leaks within a single frame
+    assert "secure/cached/k=1" in out
+    assert "orc/cached/k=1" in out
+    assert "insecure" in out
+
+
+def test_sweep_rejects_unknown_variant(capsys):
+    rc = main(["sweep", "--variants", "nope"])
+    assert rc == 64
+
+
+def test_attack_stats_flag(capsys):
+    rc = main(["attack", "orc", "secure", "--stats"])
+    out = capsys.readouterr().out
+    assert rc == 0  # the secure design leaks nothing
+    assert "probes" in out
+    assert "no leak" in out

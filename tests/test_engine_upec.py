@@ -1,0 +1,285 @@
+"""Engine-mode tests of the UPEC stack: parallel determinism, the
+P-alert commitment-refinement loop, the persistent proof cache, and the
+scenario sweep API."""
+
+import pytest
+
+from repro.core import (
+    InductiveDiffProof,
+    UpecChecker,
+    UpecMethodology,
+    UpecModel,
+    UpecScenario,
+)
+from repro.core.closure import CondEq
+from repro.core.upec import UpecCheckResult
+from repro.engine import INLINE, ProofEngine, ScenarioSweep
+from repro.formal import BmcEngine, prove_by_induction
+from repro.hdl import Circuit
+from repro.soc import SocConfig, build_soc
+from repro.soc.config import FORMAL_CONFIG_KWARGS
+
+VARIANTS = ("secure", "orc", "meltdown", "pmp_bug")
+SOCS = {
+    name: build_soc(getattr(SocConfig, name)(**FORMAL_CONFIG_KWARGS))
+    for name in VARIANTS
+}
+SCENARIO = UpecScenario(secret_in_cache=True)
+
+
+def _methodology_signature(result):
+    return (
+        result.verdict,
+        result.k,
+        result.iterations,
+        list(result.removed_regs),
+        [alert.to_dict() for alert in result.p_alerts],
+        result.l_alert.to_dict() if result.l_alert is not None else None,
+    )
+
+
+# ----------------------------------------------------------------------
+# Acceptance: parallel == sequential, bit for bit, on all variants
+# ----------------------------------------------------------------------
+def test_methodology_parallel_matches_sequential_all_variants():
+    parallel = ProofEngine(jobs=2)
+    try:
+        for name in VARIANTS:
+            soc = SOCS[name]
+            seq = UpecMethodology(soc, SCENARIO, jobs=1).run(k=2)
+            par = UpecMethodology(soc, SCENARIO, engine=parallel).run(k=2)
+            assert _methodology_signature(seq) == \
+                _methodology_signature(par), name
+    finally:
+        parallel.close()
+
+
+def test_checker_parallel_matches_sequential_alert():
+    seq_model = UpecModel(SOCS["orc"], SCENARIO)
+    par_model = UpecModel(SOCS["orc"], SCENARIO)
+    parallel = ProofEngine(jobs=2)
+    try:
+        seq = UpecChecker(seq_model, engine=ProofEngine(jobs=1)).check(k=2)
+        par = UpecChecker(par_model, engine=parallel).check(k=2)
+    finally:
+        parallel.close()
+    assert seq.status == par.status == "alert"
+    assert seq.k == par.k
+    assert seq.checked_frames == par.checked_frames
+    assert seq.alert.to_dict() == par.alert.to_dict()
+
+
+def test_engine_verdicts_match_legacy_inline_path():
+    """The obligation path may find different counterexample *models*
+    than the incremental in-context solver, but verdicts (and the first
+    alerting frame, which is formula-determined) must agree."""
+    for name in ("secure", "orc"):
+        soc = SOCS[name]
+        legacy = UpecMethodology(soc, SCENARIO, engine=INLINE).run(k=2)
+        engine = UpecMethodology(soc, SCENARIO, jobs=1).run(k=2)
+        assert legacy.verdict == engine.verdict, name
+
+
+# ----------------------------------------------------------------------
+# The Fig.-5 commitment-refinement loop
+# ----------------------------------------------------------------------
+def test_refinement_loop_removes_alert_regs_and_resumes():
+    """P-alert handling: every P-alert's registers leave the commitment,
+    the re-check resumes at the alert frame, and removed registers never
+    reappear in later alerts (the 'orc' variant exercises several
+    refinement iterations before its L-alert)."""
+    calls = []
+    original = UpecChecker.check
+
+    def spy(self, k, commitment=None, start_frame=1, **kwargs):
+        calls.append((start_frame,
+                      sorted(r.name for r in commitment)
+                      if commitment is not None else None))
+        return original(self, k, commitment=commitment,
+                        start_frame=start_frame, **kwargs)
+
+    UpecChecker.check = spy
+    try:
+        result = UpecMethodology(SOCS["orc"], SCENARIO, engine=INLINE) \
+            .run(k=4)
+    finally:
+        UpecChecker.check = original
+
+    assert result.verdict == "insecure"
+    assert result.iterations >= 2
+    assert result.iterations == len(calls)
+    assert len(result.p_alerts) == result.iterations - 1
+    # Every removed register came from a P-alert, with no duplicates.
+    assert len(result.removed_regs) == len(set(result.removed_regs))
+    p_alert_regs = {name for alert in result.p_alerts
+                    for name in alert.diff_reg_names()}
+    assert set(result.removed_regs) == p_alert_regs
+    # The commitment shrinks monotonically across iterations ...
+    commitments = [set(c) for _, c in calls]
+    for before, after in zip(commitments, commitments[1:]):
+        assert after < before
+    # ... by exactly the alert registers of the preceding iteration.
+    for i, alert in enumerate(result.p_alerts):
+        assert commitments[i] - commitments[i + 1] == \
+            set(alert.diff_reg_names())
+    # start_frame resumption: each re-check resumes at the alert frame.
+    start_frames = [frame for frame, _ in calls]
+    assert start_frames[0] == 1
+    for i, alert in enumerate(result.p_alerts):
+        assert start_frames[i + 1] == alert.frame
+    assert start_frames == sorted(start_frames)
+    # Removed registers never reappear in later alerts.
+    seen = set()
+    for alert in result.p_alerts + [result.l_alert]:
+        assert seen.isdisjoint(alert.diff_reg_names())
+        seen.update(alert.diff_reg_names())
+
+
+# ----------------------------------------------------------------------
+# Persistent proof cache
+# ----------------------------------------------------------------------
+def test_methodology_cache_hits_on_second_run(tmp_path):
+    soc = SOCS["secure"]
+    first = UpecMethodology(soc, SCENARIO, cache_dir=str(tmp_path)) \
+        .run(k=2)
+    second = UpecMethodology(soc, SCENARIO, cache_dir=str(tmp_path)) \
+        .run(k=2)
+    assert first.stats["engine_cache_hits"] == 0
+    assert first.stats["engine_cache_misses"] > 0
+    assert second.stats["engine_cache_hits"] > 0
+    assert second.stats["engine_cache_misses"] == 0
+    assert second.verdict == first.verdict
+    assert [a.to_dict() for a in second.p_alerts] == \
+        [a.to_dict() for a in first.p_alerts]
+    # All solving skipped: the second run must be dramatically faster.
+    assert second.runtime_s < first.runtime_s
+
+
+# ----------------------------------------------------------------------
+# Closure proofs on the engine
+# ----------------------------------------------------------------------
+def test_closure_step_parallel_matches_legacy_verdicts():
+    """The per-register closure obligations are independent; running
+    them on the worker pool must refute the same obligations as the
+    legacy in-context batch (which counterexample is found may differ,
+    but holds/fails per obligation is formula-determined)."""
+    soc = SOCS["secure"]
+    bad = [
+        CondEq(soc.resp_buf, cond=None),
+        CondEq(soc.secret_cache_data_reg, cond=None),
+    ]
+    legacy = InductiveDiffProof(soc, SCENARIO, bad, engine=INLINE) \
+        .check_step(conflict_limit=200_000)
+    parallel = ProofEngine(jobs=2)
+    try:
+        par = InductiveDiffProof(soc, SCENARIO, bad, engine=parallel) \
+            .check_step(conflict_limit=200_000)
+    finally:
+        parallel.close()
+    assert not legacy.holds and not par.holds
+    assert [(ob.name, ob.holds) for ob in legacy.obligations] == \
+        [(ob.name, ob.holds) for ob in par.obligations]
+    # Every refuted obligation still carries a concrete escapee.
+    assert all(ob.counterexample for ob in par.failed())
+
+
+# ----------------------------------------------------------------------
+# BMC / induction on the engine
+# ----------------------------------------------------------------------
+def _counter_circuit():
+    c = Circuit("counter")
+    cnt = c.reg("cnt", 8, init=0)
+    c.next(cnt, cnt + 1)
+    c.finalize()
+    return c, cnt
+
+
+def test_bmc_engine_mode_matches_inline():
+    c, cnt = _counter_circuit()
+    inline = BmcEngine(c, init="reset").check_always(cnt.ne(5), k=8)
+    engine = ProofEngine(jobs=2)
+    try:
+        parallel = BmcEngine(c, init="reset", engine=engine) \
+            .check_always(cnt.ne(5), k=8)
+    finally:
+        engine.close()
+    assert not inline.holds and not parallel.holds
+    assert inline.depth == parallel.depth == 5
+    assert parallel.witness.value("cnt", 5) == 5
+    # Proved side.
+    c2, cnt2 = _counter_circuit()
+    engine2 = ProofEngine(jobs=2)
+    try:
+        proved = BmcEngine(c2, init="reset", engine=engine2) \
+            .check_always(cnt2.ne(200), k=6)
+    finally:
+        engine2.close()
+    assert proved.holds and proved.depth == 6
+
+
+def test_induction_engine_mode(tmp_path):
+    c = Circuit("latch")
+    flag = c.reg("flag", 1, init=1)
+    c.next(flag, flag)
+    c.finalize()
+    engine = ProofEngine(jobs=1, cache_dir=str(tmp_path))
+    try:
+        first = prove_by_induction(c, flag.eq(1), k=1, engine=engine)
+        assert first.proved
+        hits_before = engine.cache_hits
+        again = prove_by_induction(c, flag.eq(1), k=1, engine=engine)
+        assert again.proved
+        assert engine.cache_hits > hits_before
+    finally:
+        engine.close()
+
+
+# ----------------------------------------------------------------------
+# Scenario sweeps
+# ----------------------------------------------------------------------
+def test_sweep_grid_runs_and_matches_direct_methodology(tmp_path):
+    sweep = ScenarioSweep.table1_grid(
+        variants=("secure", "orc"), k=1, uncached=False,
+        cache_dir=str(tmp_path / "cache"),
+    )
+    seq = sweep.run(jobs=1)
+    assert [out.cell.label for out in seq.outcomes] == \
+        ["secure/cached/k=1", "orc/cached/k=1"]
+    verdicts = seq.verdicts()
+    direct = {
+        name: UpecMethodology(SOCS[name], SCENARIO, engine=INLINE)
+        .run(k=1).verdict
+        for name in ("secure", "orc")
+    }
+    assert {k.split("/")[0]: v for k, v in verdicts.items()} == direct
+    # Parallel run of the same grid: identical verdicts, served from the
+    # shared cache (every obligation was already proved).
+    par = sweep.run(jobs=2)
+    assert par.verdicts() == verdicts
+    for out in par.outcomes:
+        assert out.result["stats"]["engine_cache_hits"] > 0
+        assert out.result["stats"]["engine_cache_misses"] == 0
+    data = par.to_dict()
+    assert data["jobs"] == 2 and len(data["cells"]) == 2
+    assert len(seq.rows()) == 2
+
+
+# ----------------------------------------------------------------------
+# Serialization satellites
+# ----------------------------------------------------------------------
+def test_check_result_to_dict_roundtrips_through_json():
+    import json
+
+    model = UpecModel(SOCS["orc"], SCENARIO)
+    result = UpecChecker(model, engine=INLINE).check(k=1)
+    data = json.loads(json.dumps(result.to_dict()))
+    assert data["status"] == "alert"
+    assert data["alert"]["kind"] == "P"
+    assert data["alert"]["diffs"]
+    assert all(isinstance(d["reg"], str) for d in data["alert"]["diffs"])
+    assert isinstance(data["alert"]["witness"], list)
+
+
+def test_proved_result_to_dict_has_no_alert():
+    result = UpecCheckResult(status="proved", k=3, checked_frames=3)
+    assert result.to_dict()["alert"] is None
