@@ -12,7 +12,10 @@ The solver-backed commands (``check``, ``methodology``, ``sweep``)
 uniformly accept:
 
 ``--no-preprocess``   disable the SatELite-style CNF pre-/inprocessor
+``--no-slice``        export whole-context proof obligations instead of
+                      cone-of-influence slices
 ``--stats``           print solver / simplifier / engine counters
+                      (including slice reduction ratios)
 ``--json``            machine-readable result on stdout
 ``--jobs N``          solve proof obligations on N worker processes
 ``--cache-dir DIR``   persistent proof cache (re-runs skip proved
@@ -66,6 +69,9 @@ def _add_solver_flags(parser: argparse.ArgumentParser) -> None:
     """The uniform solver/engine flag set of every SAT-backed command."""
     parser.add_argument("--no-preprocess", action="store_true",
                         help="solve the raw Tseitin CNF (no simplification)")
+    parser.add_argument("--no-slice", action="store_true",
+                        help="export whole-context proof obligations "
+                             "instead of cone-of-influence slices")
     parser.add_argument("--conflict-limit", type=int, default=None)
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker processes for proof obligations "
@@ -83,6 +89,12 @@ def _engine_from_args(args):
     from repro.engine import ProofEngine
 
     return ProofEngine(jobs=args.jobs, cache_dir=args.cache_dir)
+
+
+def _slice_from_args(args):
+    """False for --no-slice, else None (the REPRO_ENGINE_SLICE default,
+    which is on)."""
+    return False if args.no_slice else None
 
 
 def _emit(args, payload: dict, human: str) -> None:
@@ -114,7 +126,8 @@ def cmd_check(args) -> int:
     scenario = UpecScenario(secret_in_cache=not args.uncached)
     model = UpecModel(soc, scenario, simplify=not args.no_preprocess)
     engine = _engine_from_args(args)
-    result = UpecChecker(model, engine=engine).check(
+    result = UpecChecker(model, engine=engine,
+                         slice=_slice_from_args(args)).check(
         k=args.k, conflict_limit=args.conflict_limit
     )
     human = f"scenario: {scenario.describe()}\n{result.describe()}"
@@ -136,6 +149,7 @@ def cmd_methodology(args) -> int:
         conflict_limit=args.conflict_limit,
         simplify=not args.no_preprocess,
         engine=_engine_from_args(args),
+        slice=_slice_from_args(args),
     ).run(k=args.k)
     human = result.describe()
     if args.stats and not args.json:
@@ -168,6 +182,7 @@ def cmd_sweep(args) -> int:
         simplify=not args.no_preprocess,
         conflict_limit=args.conflict_limit,
         cache_dir=cache_dir,
+        slice=_slice_from_args(args),
     )
     result = sweep.run(jobs=jobs)
     human = format_table(

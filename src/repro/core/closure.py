@@ -106,10 +106,12 @@ class InductiveDiffProof:
         invariant: Sequence[CondEq],
         simplify: bool = True,
         engine=None,
+        slice: Optional[bool] = None,
     ) -> None:
         self.soc = soc
         self.scenario = scenario
         self.simplify = simplify
+        self.slice = slice
         from repro.engine.pool import resolve_engine
 
         self.engine = resolve_engine(engine)
@@ -173,6 +175,7 @@ class InductiveDiffProof:
                         "obligation": name,
                         "invariant": [e.reg.name for e in self.invariant],
                     },
+                    slice=self.slice,
                 )
             tasks.append((name, target, exported))
 
@@ -265,7 +268,7 @@ class InductiveDiffProof:
                    if target != 0]
         verdicts = iter(self.engine.solve_ordered(pending))
         obligations: List[ClosureObligation] = []
-        for name, target, _ in tasks:
+        for name, target, exported in tasks:
             if target == 0:
                 obligations.append(ClosureObligation(name=name, holds=True))
                 continue
@@ -273,7 +276,7 @@ class InductiveDiffProof:
             if verdict.unsat:
                 obligations.append(ClosureObligation(name=name, holds=True))
             elif verdict.sat:
-                model.context.adopt_model(verdict.model_list())
+                model.context.adopt_verdict(exported, verdict)
                 cex = model.differing_regs(1)
                 obligations.append(ClosureObligation(
                     name=name, holds=False, counterexample=cex))

@@ -96,11 +96,13 @@ class UpecMethodology:
         engine=None,
         jobs: Optional[int] = None,
         cache_dir: Optional[str] = None,
+        slice: Optional[bool] = None,
     ) -> None:
         self.soc = soc
         self.scenario = scenario
         self.conflict_limit = conflict_limit
         self.simplify = simplify
+        self.slice = slice
         from repro.engine.pool import ProofEngine, resolve_engine
 
         if engine is None and (jobs is not None or cache_dir is not None):
@@ -127,7 +129,8 @@ class UpecMethodology:
         from repro.engine.pool import INLINE
 
         checker = UpecChecker(
-            model, engine=self.engine if self.engine is not None else INLINE
+            model, engine=self.engine if self.engine is not None else INLINE,
+            slice=self.slice,
         )
         commitment: List[Reg] = model.default_commitment()
         p_alerts: List[Alert] = []

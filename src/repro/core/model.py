@@ -150,9 +150,12 @@ class UpecModel:
         return const_init
 
     def _assert_both(self, expr: Expr, frame: int) -> None:
-        """Assert a 1-bit circuit expression in both instances."""
-        self.context.assert_lit(self.u1.expr_lit(expr, frame))
-        self.context.assert_lit(self.u2.expr_lit(expr, frame))
+        """Assert a 1-bit circuit expression in both instances.
+
+        The units are frame-tagged so that a sliced frame-``t``
+        obligation carries only the assumptions of frames ``0..t``."""
+        self.context.assert_lit(self.u1.expr_lit(expr, frame), frame=frame)
+        self.context.assert_lit(self.u2.expr_lit(expr, frame), frame=frame)
 
     def _apply_initial_assumptions(self) -> None:
         soc = self.soc
@@ -184,7 +187,8 @@ class UpecModel:
             cond1 = self.u1.expr_lit(cond, 0)
             cond2 = self.u2.expr_lit(cond, 0)
             aig = self.context.aig
-            self.context.assert_lit(aig.or_(eq, aig.and_(cond1, cond2)))
+            self.context.assert_lit(aig.or_(eq, aig.and_(cond1, cond2)),
+                                    frame=0)
 
     def assume_window(self, up_to_frame: int) -> None:
         """Apply the 'during t..t+k' assumptions (Constraints 2 and 3)."""
@@ -227,12 +231,20 @@ class UpecModel:
         regs: Sequence[Reg],
         frame: int,
         conflict_limit: Optional[int] = None,
+        slice: Optional[bool] = None,
     ):
         """Export the frame's commitment check as a self-contained
         :class:`repro.engine.obligation.ProofObligation`.
 
         Returns None when structural hashing already folded every pair to
         equality (the frame is proved without a SAT call).
+
+        With slicing (the default), the obligation is the frame's cone
+        of influence only — frame-tagged window assumptions of later
+        frames, other commitments and any other unrelated growth of the
+        shared context are excluded, so the same ``(commitment, frame)``
+        query always fingerprints identically (cross-window and
+        cross-run cache hits).
         """
         self.assume_window(frame)
         target = self.commitment_diff_lit(regs, frame)
@@ -249,6 +261,8 @@ class UpecModel:
                 "frame": frame,
                 "commitment": [reg.name for reg in regs],
             },
+            slice=slice,
+            frame=frame,
         )
 
     # ------------------------------------------------------------------

@@ -75,11 +75,18 @@ class UpecChecker:
     (``REPRO_ENGINE_JOBS`` / ``REPRO_ENGINE_CACHE``).
     """
 
-    def __init__(self, model: UpecModel, engine=None) -> None:
+    def __init__(self, model: UpecModel, engine=None,
+                 slice: Optional[bool] = None) -> None:
         self.model = model
+        self.slice = slice
         from repro.engine.pool import resolve_engine
 
         self.engine = resolve_engine(engine)
+
+    def _slice_enabled(self) -> bool:
+        from repro.engine.slice import env_slice
+
+        return env_slice() if self.slice is None else bool(self.slice)
 
     def check(
         self,
@@ -149,22 +156,33 @@ class UpecChecker:
     ) -> UpecCheckResult:
         """Obligation-based frame checks via the scheduler/cache engine.
 
-        Obligations for every frame of the window are exported *before*
-        solving, at any jobs setting.  This does unroll past an early
-        alert (unlike the legacy incremental path), but it is what makes
-        the engine deterministic across worker counts: obligation
-        content depends on the shared CNF mapper's emission history, so
-        jobs=1 and jobs=N must grow the model identically or their
-        obligation streams — and hence counterexample models — would
-        diverge from the second methodology iteration on.  The cost is
-        bounded by the window length and is repaid by sibling-frame
-        parallelism and by cache hits on re-runs.
+        With slicing (the default) an obligation's content is canonical
+        — it depends only on the commitment and the frame, not on how
+        far the shared CNF mapper happened to grow — so at ``jobs=1``
+        frames are exported *lazily*, one at a time, and an early alert
+        stops the walk before later frames are ever unrolled.  At
+        ``jobs>1`` the window's frames are exported up front so all
+        siblings can be in flight at once; both schedules produce
+        bit-identical obligation streams, hence bit-identical verdicts
+        and counterexample models.
+
+        Without slicing, obligation content *does* depend on the shared
+        mapper's emission history, so every frame of the window is
+        exported eagerly at any jobs setting (the pre-slicing behaviour)
+        to keep jobs=1 and jobs=N obligation streams identical.
         """
         model = self.model
         since = self.engine.stats()
+        if self.engine.jobs == 1 and self._slice_enabled():
+            return self._check_engine_lazy(
+                k, regs, start_frame, conflict_limit, witness_signals,
+                start, since,
+            )
         frames = list(range(start_frame, k + 1))
         obligations = [
-            model.frame_obligation(regs, t, conflict_limit) for t in frames
+            model.frame_obligation(regs, t, conflict_limit,
+                                   slice=self.slice)
+            for t in frames
         ]
         pending = [ob for ob in obligations if ob is not None]
         verdicts = iter(self.engine.solve_ordered(
@@ -186,17 +204,72 @@ class UpecChecker:
                     runtime_s=time.perf_counter() - start,
                     checked_frames=checked, stats=self._engine_stats(since),
                 )
-            model.context.adopt_model(verdict.model_list())
-            diffs = model.differing_regs(t, regs)
-            witness = model.witness_frames(t) if witness_signals else []
-            alert = classify(t, diffs, witness)
-            return UpecCheckResult(
-                status=ALERT, k=t, alert=alert,
-                runtime_s=time.perf_counter() - start,
-                checked_frames=checked, stats=self._engine_stats(since),
+            return self._alert_result(
+                obligation, verdict, t, regs, witness_signals, checked,
+                start, since,
             )
         return UpecCheckResult(
             status=PROVED, k=k, runtime_s=time.perf_counter() - start,
+            checked_frames=checked, stats=self._engine_stats(since),
+        )
+
+    def _check_engine_lazy(
+        self,
+        k: int,
+        regs: Sequence[Reg],
+        start_frame: int,
+        conflict_limit: Optional[int],
+        witness_signals: bool,
+        start: float,
+        since: Dict[str, int],
+    ) -> UpecCheckResult:
+        """Frame-at-a-time export and solve: an alert at frame ``t``
+        means frames ``t+1..k`` are never unrolled or exported."""
+        model = self.model
+        checked = 0
+        for t in range(start_frame, k + 1):
+            obligation = model.frame_obligation(regs, t, conflict_limit,
+                                                slice=True)
+            checked += 1
+            if obligation is None:
+                continue
+            verdict = self.engine.solve(obligation)
+            if verdict.unsat:
+                continue
+            if not verdict.sat:
+                return UpecCheckResult(
+                    status=INCONCLUSIVE, k=t,
+                    runtime_s=time.perf_counter() - start,
+                    checked_frames=checked, stats=self._engine_stats(since),
+                )
+            return self._alert_result(
+                obligation, verdict, t, regs, witness_signals, checked,
+                start, since,
+            )
+        return UpecCheckResult(
+            status=PROVED, k=k, runtime_s=time.perf_counter() - start,
+            checked_frames=checked, stats=self._engine_stats(since),
+        )
+
+    def _alert_result(
+        self,
+        obligation,
+        verdict,
+        t: int,
+        regs: Sequence[Reg],
+        witness_signals: bool,
+        checked: int,
+        start: float,
+        since: Dict[str, int],
+    ) -> UpecCheckResult:
+        model = self.model
+        model.context.adopt_verdict(obligation, verdict)
+        diffs = model.differing_regs(t, regs)
+        witness = model.witness_frames(t) if witness_signals else []
+        alert = classify(t, diffs, witness)
+        return UpecCheckResult(
+            status=ALERT, k=t, alert=alert,
+            runtime_s=time.perf_counter() - start,
             checked_frames=checked, stats=self._engine_stats(since),
         )
 

@@ -8,7 +8,11 @@ layers:
   assumptions + metadata) with :class:`Verdict` results; exported by
   :meth:`repro.formal.bmc.SatContext.export_obligation` and
   :meth:`repro.core.model.UpecModel.frame_obligation` instead of being
-  solved inline.
+  solved inline.  By default exports are cut to the query's cone of
+  influence (:mod:`repro.engine.slice`), canonically renumbered so the
+  same logical query is bit-identical — and cache-key identical — no
+  matter how the shared context grew (``REPRO_ENGINE_SLICE=0``
+  restores whole-context snapshots).
 * **scheduler** (:mod:`repro.engine.pool`) — :class:`SolverPool` runs
   obligation batches on a ``multiprocessing`` worker pool (in-process at
   ``jobs=1``), consuming results in submission order with early-cancel
@@ -26,7 +30,7 @@ parameter.  ``REPRO_ENGINE_JOBS`` / ``REPRO_ENGINE_CACHE`` configure a
 process-wide default engine for call sites that were not handed one.
 """
 
-from repro.engine.cache import ResultCache
+from repro.engine.cache import CACHE_MAX_ENV, ResultCache
 from repro.engine.obligation import (
     SAT,
     UNKNOWN,
@@ -46,6 +50,7 @@ from repro.engine.pool import (
     default_engine,
     resolve_engine,
 )
+from repro.engine.slice import SLICE_ENV, SliceResult, env_slice, slice_cnf
 from repro.engine.sweep import (
     ScenarioSweep,
     SweepCell,
@@ -55,13 +60,16 @@ from repro.engine.sweep import (
 
 __all__ = [
     "CACHE_ENV",
+    "CACHE_MAX_ENV",
     "INLINE",
     "JOBS_ENV",
+    "SLICE_ENV",
     "ProofEngine",
     "ProofObligation",
     "ResultCache",
     "SAT",
     "ScenarioSweep",
+    "SliceResult",
     "SolverPool",
     "SweepCell",
     "SweepOutcome",
@@ -70,8 +78,10 @@ __all__ = [
     "UNSAT",
     "Verdict",
     "default_engine",
+    "env_slice",
     "pack_model",
     "resolve_engine",
+    "slice_cnf",
     "solve_obligation",
     "unpack_model",
 ]

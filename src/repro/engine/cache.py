@@ -2,12 +2,27 @@
 
 Verdicts are keyed by the obligation's content fingerprint (circuit
 slice + scenario assumptions + commitment target are all part of the
-exported CNF, so the key identifies the proof up to bit-level identity).
-Each verdict lives in its own JSON file, written atomically, so many
-worker processes can share one cache directory without locking.
+exported CNF, so the key identifies the proof up to bit-level identity;
+with cone-of-influence slicing the encoding is canonical, so the same
+logical query hashes identically across windows and runs).  Each verdict
+lives in its own JSON file, written atomically, so many worker processes
+can share one cache directory without locking.
 
 Only definite verdicts (sat/unsat) are stored: an ``unknown`` outcome
 depends on the conflict limit of the run that produced it.
+
+The store is size-capped: a small index file (``_index.json``) tracks
+per-entry sizes and a logical LRU clock; when ``max_bytes`` (or the
+``REPRO_ENGINE_CACHE_MAX_BYTES`` environment knob) is exceeded, the
+least-recently-used verdicts are pruned.  The index is advisory — if it
+is missing, stale or corrupted it is rebuilt from the directory listing,
+and stale ``*.tmp`` files from interrupted writers are removed on init.
+Index writes are batched (every few stores, after an eviction, and on
+:meth:`ResultCache.flush` — which ``ProofEngine.close`` calls so warm
+all-hit runs still persist their recency), and each save merges with
+the on-disk index so sibling processes' entries survive.  With the
+directory shared between processes the byte cap and LRU order are
+best-effort per process, not a global invariant.
 """
 
 from __future__ import annotations
@@ -15,24 +30,204 @@ from __future__ import annotations
 import json
 import os
 import tempfile
-from typing import Any, Dict, Optional
+import time
+from typing import Any, Dict, Optional, Tuple
 
 from repro.engine.obligation import UNKNOWN, ProofObligation, Verdict
+
+#: Environment knob: byte budget for every cache directory opened
+#: without an explicit ``max_bytes``.
+CACHE_MAX_ENV = "REPRO_ENGINE_CACHE_MAX_BYTES"
+
+_INDEX_NAME = "_index.json"
+
+#: A ``*.tmp`` file this old cannot be an in-flight write of a live
+#: concurrent worker; younger ones are left alone so opening a shared
+#: cache directory never races a sibling's store.
+_ORPHAN_TTL_S = 3600.0
+
+#: Persist the index after this many unsaved mutations (stores/touches)
+#: rather than on every store — the index is advisory and rebuilt from
+#: the listing, so batching costs nothing but staleness.
+_SAVE_EVERY = 16
+
+
+def _env_max_bytes() -> Optional[int]:
+    raw = os.environ.get(CACHE_MAX_ENV)
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
 
 
 class ResultCache:
     """On-disk obligation-verdict store (one JSON file per fingerprint)."""
 
-    def __init__(self, root: str) -> None:
+    def __init__(self, root: str,
+                 max_bytes: Optional[int] = None) -> None:
         self.root = root
+        self.max_bytes = max_bytes if max_bytes is not None \
+            else _env_max_bytes()
         os.makedirs(root, exist_ok=True)
+        self._clean_orphans()
+        self._tick, self._entries = self._load_index()
+        self._dirty = 0
 
+    # ------------------------------------------------------------------
+    # Index maintenance
+    # ------------------------------------------------------------------
+    def _index_path(self) -> str:
+        return os.path.join(self.root, _INDEX_NAME)
+
+    def _clean_orphans(self) -> None:
+        """Remove stale ``*.tmp`` leftovers of writers that died
+        mid-store.  Recent temp files are spared: a worker sharing the
+        directory may be between ``mkstemp`` and ``os.replace`` right
+        now, and unlinking its file would silently drop that verdict."""
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return
+        cutoff = time.time() - _ORPHAN_TTL_S
+        for name in names:
+            if not name.endswith(".tmp"):
+                continue
+            path = os.path.join(self.root, name)
+            try:
+                if os.path.getmtime(path) < cutoff:
+                    os.unlink(path)
+            except OSError:
+                pass
+
+    def _load_index(self) -> Tuple[int, Dict[str, Dict[str, int]]]:
+        """Read the index and reconcile it against the directory: entries
+        without a backing file are dropped, files the index never saw are
+        adopted with the oldest possible recency (tick 0)."""
+        tick = 0
+        entries: Dict[str, Dict[str, int]] = {}
+        try:
+            with open(self._index_path(), "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            tick = int(data["tick"])
+            for key, entry in data["entries"].items():
+                entries[str(key)] = {
+                    "size": int(entry["size"]),
+                    "tick": int(entry["tick"]),
+                }
+        except (OSError, ValueError, KeyError, TypeError):
+            tick, entries = 0, {}
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            names = []
+        on_disk = set()
+        for name in names:
+            if not name.endswith(".json") or name == _INDEX_NAME:
+                continue
+            fingerprint = name[:-len(".json")]
+            on_disk.add(fingerprint)
+            if fingerprint not in entries:
+                try:
+                    size = os.path.getsize(os.path.join(self.root, name))
+                except OSError:
+                    continue
+                entries[fingerprint] = {"size": size, "tick": 0}
+        for fingerprint in list(entries):
+            if fingerprint not in on_disk:
+                del entries[fingerprint]
+        return tick, entries
+
+    def _save_index(self) -> None:
+        """Persist the index, merging entries sibling processes wrote to
+        the shared directory since we loaded it (their files exist but
+        our in-memory view never saw them; last-writer-wins would drop
+        them to tick 0 and make them eviction-first)."""
+        try:
+            with open(self._index_path(), "r", encoding="utf-8") as handle:
+                disk = json.load(handle)
+            self._tick = max(self._tick, int(disk["tick"]))
+            for key, entry in disk["entries"].items():
+                key = str(key)
+                if key in self._entries:
+                    continue
+                if os.path.exists(self._path(key)):
+                    self._entries[key] = {
+                        "size": int(entry["size"]),
+                        "tick": int(entry["tick"]),
+                    }
+        except (OSError, ValueError, KeyError, TypeError):
+            pass
+        payload = {"tick": self._tick, "entries": self._entries}
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, self._index_path())
+            self._dirty = 0
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def flush(self) -> None:
+        """Persist any unsaved recency/entry updates (called by
+        ``ProofEngine.close``; cheap no-op when nothing changed)."""
+        if self._dirty:
+            self._save_index()
+
+    def _touch(self, fingerprint: str, size: Optional[int] = None) -> None:
+        self._tick += 1
+        self._dirty += 1
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            if size is None:
+                try:
+                    size = os.path.getsize(self._path(fingerprint))
+                except OSError:
+                    return
+            entry = self._entries[fingerprint] = {"size": size}
+        elif size is not None:
+            entry["size"] = size
+        entry["tick"] = self._tick
+
+    def _prune(self) -> bool:
+        """Evict least-recently-used verdicts until under the byte cap;
+        returns whether anything was evicted."""
+        if self.max_bytes is None:
+            return False
+        total = sum(entry["size"] for entry in self._entries.values())
+        if total <= self.max_bytes:
+            return False
+        # Oldest tick first; fingerprint breaks ties deterministically.
+        order = sorted(self._entries.items(),
+                       key=lambda item: (item[1]["tick"], item[0]))
+        evicted = False
+        for fingerprint, entry in order:
+            if total <= self.max_bytes:
+                break
+            try:
+                os.unlink(self._path(fingerprint))
+            except OSError:
+                pass
+            total -= entry["size"]
+            del self._entries[fingerprint]
+            evicted = True
+        return evicted
+
+    # ------------------------------------------------------------------
+    # Store / lookup
+    # ------------------------------------------------------------------
     def _path(self, fingerprint: str) -> str:
         return os.path.join(self.root, f"{fingerprint}.json")
 
     def lookup(self, obligation: ProofObligation) -> Optional[Verdict]:
         """Return the stored verdict for an obligation, or None."""
-        path = self._path(obligation.fingerprint())
+        fingerprint = obligation.fingerprint()
+        path = self._path(fingerprint)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 data = json.load(handle)
@@ -43,6 +238,9 @@ class ResultCache:
         except (KeyError, TypeError, ValueError):
             return None
         verdict.cached = True
+        # Recency is tracked in memory and persisted on the next store:
+        # a read-only hit must not pay a write.
+        self._touch(fingerprint)
         return verdict
 
     def store(self, obligation: ProofObligation, verdict: Verdict) -> None:
@@ -54,18 +252,23 @@ class ResultCache:
             "meta": obligation.meta,
             "size": obligation.size(),
         }
+        encoded = json.dumps(payload)
         path = self._path(verdict.fingerprint)
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle)
+                handle.write(encoded)
             os.replace(tmp, path)
         except OSError:
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
+            return
+        self._touch(verdict.fingerprint, size=len(encoded))
+        if self._prune() or self._dirty >= _SAVE_EVERY:
+            self._save_index()
 
     def __len__(self) -> int:
         return sum(1 for name in os.listdir(self.root)
-                   if name.endswith(".json"))
+                   if name.endswith(".json") and name != _INDEX_NAME)

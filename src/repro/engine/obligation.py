@@ -49,7 +49,18 @@ def unpack_model(data: bytes, nvars: int) -> List[bool]:
 
 @dataclass
 class ProofObligation:
-    """One independent SAT query, detached from the context that built it."""
+    """One independent SAT query, detached from the context that built it.
+
+    A *sliced* obligation (see :mod:`repro.engine.slice`) carries only
+    the cone of influence of its assumptions, renumbered canonically;
+    ``remap`` (new variable -> original context variable) and
+    ``orig_nvars`` let ``SatContext.adopt_verdict`` translate a worker's
+    model back into the exporting context's numbering (completing the
+    dropped gates by evaluation).  Neither field is part of the
+    fingerprint: re-exports of the same logical query hash identically
+    no matter how the shared context grew after the query's cone was
+    first mapped.
+    """
 
     name: str
     nvars: int
@@ -59,11 +70,15 @@ class ProofObligation:
     simplify: bool = True
     conflict_limit: Optional[int] = None
     meta: Dict[str, Any] = field(default_factory=dict)
+    remap: Optional[List[int]] = None   # new var -> original var (0 unused)
+    orig_nvars: int = 0
 
     def fingerprint(self) -> str:
         """Content hash of the formula (clauses + assumptions + frozen set
-        + solver configuration).  The conflict limit is excluded: a
-        definite sat/unsat verdict is valid under any limit."""
+        + solver configuration).  The conflict limit, the metadata and the
+        slice remap are all excluded: a definite sat/unsat verdict is
+        valid under any limit, and the remap is context bookkeeping that
+        does not change what is being proved."""
         h = hashlib.sha256(_FINGERPRINT_SALT)
         h.update(b"1" if self.simplify else b"0")
         h.update(array("q", [self.nvars]).tobytes())

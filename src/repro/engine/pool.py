@@ -164,6 +164,10 @@ class ProofEngine:
 
     def close(self) -> None:
         self.pool.close()
+        if self.cache is not None:
+            # Persist batched index updates — including the recency ticks
+            # of a fully-warm run that never stored anything.
+            self.cache.flush()
 
     def __enter__(self) -> "ProofEngine":
         return self

@@ -125,9 +125,14 @@ def _run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
         conflict_limit=payload["conflict_limit"],
         simplify=payload["simplify"],
         engine=engine,
+        slice=payload.get("slice"),
     )
-    result = methodology.run(k=payload["k"],
-                             max_iterations=payload["max_iterations"])
+    try:
+        result = methodology.run(k=payload["k"],
+                                 max_iterations=payload["max_iterations"])
+    finally:
+        if engine is not INLINE:
+            engine.close()
     return {
         "result": result.to_dict(),
         "runtime_s": time.perf_counter() - start,
@@ -144,12 +149,14 @@ class ScenarioSweep:
         conflict_limit: Optional[int] = None,
         cache_dir: Optional[str] = None,
         max_iterations: int = 64,
+        slice: Optional[bool] = None,
     ) -> None:
         self.cells = list(cells)
         self.simplify = simplify
         self.conflict_limit = conflict_limit
         self.cache_dir = cache_dir
         self.max_iterations = max_iterations
+        self.slice = slice
 
     # ------------------------------------------------------------------
     @classmethod
@@ -190,6 +197,7 @@ class ScenarioSweep:
             "conflict_limit": self.conflict_limit,
             "cache_dir": self.cache_dir,
             "max_iterations": self.max_iterations,
+            "slice": self.slice,
         }
 
     def run(self, jobs: int = 1) -> SweepResult:

@@ -184,16 +184,28 @@ class CnfMapper:
         self.solver = solver if solver is not None else CdclSolver()
         self._node_var: Dict[int, int] = {}
         self.clauses_emitted = 0
+        # A recording solver (ClauseLog) learns which clauses define
+        # which gate variable — that is what gives cone-of-influence
+        # slicing its fan-in direction.  Plain solvers skip it.
+        self._note_definition = getattr(self.solver, "note_definition", None)
 
     def lit_to_solver(self, lit: int) -> int:
         """Return the DIMACS literal corresponding to an AIG literal,
         emitting Tseitin clauses for its cone as needed."""
         if lit == FALSE or lit == TRUE:
-            # Materialize a constant variable once.
+            # Materialize a constant variable once.  Its defining unit is
+            # frame-independent, so shield it from any frame tag the
+            # recording solver is currently applying to asserted units —
+            # a sliced obligation must never drop the constant's clause.
             var = self._node_var.get(0)
             if var is None:
                 var = self.solver.new_var()
+                tag = getattr(self.solver, "unit_tag", None)
+                if tag is not None:
+                    self.solver.unit_tag = None
                 self.solver.add_clause([-var])  # node 0 is FALSE
+                if tag is not None:
+                    self.solver.unit_tag = tag
                 self._node_var[0] = var
             return -var if lit == TRUE else var
         node = lit >> 1
@@ -210,6 +222,8 @@ class CnfMapper:
                 self.solver.add_clause([-v, a])
                 self.solver.add_clause([-v, b])
                 self.solver.add_clause([v, -a, -b])
+                if self._note_definition is not None:
+                    self._note_definition(v, 3)
                 self.clauses_emitted += 3
                 self._node_var[inner] = v
             if node not in self._node_var:
@@ -252,8 +266,13 @@ class CnfMapper:
     def model_lit(self, lit: int) -> bool:
         """Value of an AIG literal in the solver's current model.
 
-        Literals never sent to the solver are unconstrained; they default to
-        False (matching don't-care semantics in counterexamples).
+        For in-process models, literals never sent to the solver are
+        unconstrained and default to False (don't-care semantics in
+        counterexamples).  Under an *adopted* external model (a worker
+        verdict, possibly from a sliced obligation) unmapped gates are
+        instead evaluated from their fan-in, so witness reads are a
+        consistent execution of the circuit no matter which clauses the
+        obligation carried or how far this context happened to grow.
         """
         if lit == FALSE:
             return False
@@ -262,8 +281,40 @@ class CnfMapper:
         node = lit >> 1
         var = self._node_var.get(node)
         if var is None:
+            if getattr(self.solver, "_adopted", None) is not None:
+                return bool(lit & 1) ^ self._eval_unmapped(node)
             return bool(lit & 1) ^ bool(self._free_value(node))
         return self.solver.model_value(-var if lit & 1 else var)
+
+    def _eval_unmapped(self, node: int) -> bool:
+        """Evaluate an unmapped node's cone, grounding at mapped nodes
+        (their adopted model values) and at free inputs (False)."""
+        solver = self.solver
+        node_var = self._node_var
+        values: Dict[int, bool] = {0: False}
+        stack: List[Tuple[int, bool]] = [(node, False)]
+        while stack:
+            inner, expanded = stack.pop()
+            if expanded:
+                a, b = self.aig.fanins(2 * inner)
+                va = values[a >> 1] ^ bool(a & 1)
+                vb = values[b >> 1] ^ bool(b & 1)
+                values[inner] = va and vb
+                continue
+            if inner in values:
+                continue
+            var = node_var.get(inner)
+            if var is not None:
+                values[inner] = solver.model_value(var)
+                continue
+            fanins = self.aig.fanins(2 * inner)
+            if fanins is None:
+                values[inner] = False  # free input outside every cone
+                continue
+            stack.append((inner, True))
+            stack.append((fanins[0] >> 1, False))
+            stack.append((fanins[1] >> 1, False))
+        return values[node]
 
     @staticmethod
     def _free_value(node: int) -> bool:

@@ -42,6 +42,17 @@ class ClauseLog:
         self.clauses: List[List[int]] = []
         self.frozen: Set[int] = set()
         self._adopted: Optional[List[bool]] = None
+        #: Per-clause frame tag (None = frame-independent).  Clients set
+        #: ``unit_tag`` around an assertion so the obligation slicer can
+        #: exclude units belonging to later frames.
+        self.tags: List[Optional[int]] = []
+        self.unit_tag: Optional[int] = None
+        #: var -> indices of the clauses that define it (Tseitin triples,
+        #: claimed by :meth:`note_definition`); ``roots`` holds the
+        #: indices of every unclaimed clause (asserted units).  Together
+        #: they give the cone-of-influence slicer its fan-in direction.
+        self.definitions: Dict[int, List[int]] = {}
+        self.roots: List[int] = []
         if hasattr(inner, "freeze_var"):
             # Only advertise freezing when the inner solver supports it:
             # CnfMapper.freeze_lit probes with getattr and must keep
@@ -53,8 +64,17 @@ class ClauseLog:
         # log can keep the caller's list (CnfMapper always passes fresh
         # ones) instead of copying every clause on the emission path.
         clause = lits if type(lits) is list else list(lits)
+        self.roots.append(len(self.clauses))
         self.clauses.append(clause)
+        self.tags.append(self.unit_tag)
         return self.inner.add_clause(clause)
+
+    def note_definition(self, var: int, count: int) -> None:
+        """Claim the last ``count`` clauses as the definition of ``var``
+        (called by :class:`~repro.formal.aig.CnfMapper` right after it
+        emits a gate's Tseitin triple)."""
+        self.definitions[var] = self.roots[-count:]
+        del self.roots[-count:]
 
     def add_clauses(self, clauses) -> bool:
         ok = True
@@ -108,10 +128,20 @@ class SatContext:
             SimplifyingSolver() if simplify else CdclSolver()
         )
         self.mapper = CnfMapper(self.aig, self.solver)
+        self._slice_totals: Dict[str, int] = {}
 
-    def assert_lit(self, lit: int) -> None:
-        """Permanently assert an AIG literal."""
-        self.mapper.assert_true(lit)
+    def assert_lit(self, lit: int, frame: Optional[int] = None) -> None:
+        """Permanently assert an AIG literal.
+
+        ``frame`` tags the resulting unit clause with the unrolling frame
+        it belongs to, so sliced obligations for earlier frames can leave
+        it (and its cone) out."""
+        log = self.solver
+        log.unit_tag = frame
+        try:
+            self.mapper.assert_true(lit)
+        finally:
+            log.unit_tag = None
 
     def export_obligation(
         self,
@@ -119,15 +149,56 @@ class SatContext:
         assumptions: Sequence[int] = (),
         conflict_limit: Optional[int] = None,
         meta: Optional[Dict[str, Any]] = None,
+        slice: Optional[bool] = None,
+        frame: Optional[int] = None,
     ):
         """Snapshot the current formula plus AIG-literal assumptions as a
-        serializable :class:`repro.engine.obligation.ProofObligation`."""
+        serializable :class:`repro.engine.obligation.ProofObligation`.
+
+        With slicing (the default, see ``REPRO_ENGINE_SLICE``) the
+        obligation carries only the cone of influence of the assumptions
+        and the asserted units — canonically renumbered, so its
+        fingerprint does not depend on how the shared context grew.
+        ``frame`` additionally drops units tagged with a later frame
+        (the UPEC per-frame window assumptions).
+        """
         from repro.engine.obligation import ProofObligation
+        from repro.engine.slice import env_slice, slice_cnf
 
         # Mapping the assumptions may emit their cones; do it before the
         # clause snapshot so the obligation is self-contained.
         dimacs = [self.mapper.assumption(lit) for lit in assumptions]
         log = self.solver
+        totals = self._slice_totals
+        totals["obligations_exported"] = \
+            totals.get("obligations_exported", 0) + 1
+        if env_slice() if slice is None else slice:
+            sliced = slice_cnf(
+                clauses=log.clauses,
+                nvars=log.nvars,
+                definitions=log.definitions,
+                roots=log.roots,
+                tags=log.tags,
+                assumptions=dimacs,
+                frozen=log.frozen,
+                unit_cutoff=frame,
+            )
+            totals["obligations_sliced"] = \
+                totals.get("obligations_sliced", 0) + 1
+            for key, value in sliced.stats().items():
+                totals[key] = totals.get(key, 0) + value
+            return ProofObligation(
+                name=name,
+                nvars=sliced.nvars,
+                clauses=sliced.clauses,
+                assumptions=sliced.assumptions,
+                frozen=sliced.frozen,
+                simplify=self.simplify,
+                conflict_limit=conflict_limit,
+                meta=dict(meta or {}),
+                remap=sliced.remap,
+                orig_nvars=log.nvars,
+            )
         return ProofObligation(
             name=name,
             nvars=log.nvars,
@@ -137,11 +208,65 @@ class SatContext:
             simplify=self.simplify,
             conflict_limit=conflict_limit,
             meta=dict(meta or {}),
+            orig_nvars=log.nvars,
         )
 
     def adopt_model(self, model: Sequence[bool]) -> None:
         """Expose an external verdict's model to ``value``/``word_value``."""
         self.solver.adopt_model(model)
+
+    def complete_model(self, obligation, values: Sequence[bool]) -> List[bool]:
+        """Extend a (possibly sliced) obligation's model to the full
+        context formula.
+
+        Variables the slice kept take the worker's values via the remap
+        (the identity when ``remap`` is None); every gate variable the
+        slice dropped — or that was only mapped *after* the export, as
+        the shared context kept growing — is *evaluated* from its
+        recorded Tseitin definition (children were emitted first, so one
+        forward pass suffices).  The result is a consistent execution of
+        the recorded formula — witness traces read through ``value`` /
+        ``word_value`` never show gate values that contradict their
+        fan-in — rather than a zero-fill that merely matches on the
+        sliced variables.
+        """
+        log = self.solver
+        model = [False] * (log.nvars + 1)
+        known = bytearray(log.nvars + 1)
+        n = len(values)
+        if obligation.remap is None:
+            for var in range(1, min(n, log.nvars + 1)):
+                model[var] = values[var]
+                known[var] = 1
+        else:
+            for new in range(1, len(obligation.remap)):
+                old = obligation.remap[new]
+                if old <= log.nvars:
+                    model[old] = values[new] if new < n else False
+                    known[old] = 1
+        clauses = log.clauses
+        for var, def_idx in log.definitions.items():
+            if known[var]:
+                continue
+            # v <-> a & b: the triple's first two clauses are [-v, a]
+            # and [-v, b]; fan-in variables precede v in emission order,
+            # so their values (kept, evaluated, or free-input False) are
+            # final by the time v is reached.
+            c0 = clauses[def_idx[0]]
+            c1 = clauses[def_idx[1]]
+            a = c0[1] if c0[0] == -var else c0[0]
+            b = c1[1] if c1[0] == -var else c1[0]
+            va = model[a] if a > 0 else not model[-a]
+            vb = model[b] if b > 0 else not model[-b]
+            model[var] = va and vb
+            known[var] = 1
+        return model
+
+    def adopt_verdict(self, obligation, verdict) -> None:
+        """Adopt a worker verdict's model for witness extraction,
+        completing out-of-slice gates via :meth:`complete_model`."""
+        self.adopt_model(self.complete_model(obligation,
+                                             verdict.model_list()))
 
     def solve(
         self,
@@ -168,6 +293,7 @@ class SatContext:
         data["aig_nodes"] = len(self.aig)
         data["cnf_vars"] = self.solver.nvars
         data["cnf_clauses_emitted"] = self.mapper.clauses_emitted
+        data.update(self._slice_totals)
         simp = getattr(self.solver, "simplify_stats", None)
         if simp is not None:
             for key, value in simp.as_dict().items():
@@ -220,10 +346,12 @@ class BmcEngine:
     """
 
     def __init__(self, circuit: Circuit, init: str = "reset",
-                 simplify: bool = True, engine=None) -> None:
+                 simplify: bool = True, engine=None,
+                 slice: Optional[bool] = None) -> None:
         self.circuit = circuit.finalize()
         self.context = SatContext(simplify=simplify)
         self.unroller = Unroller(circuit, self.context.aig, init=init)
+        self.slice = slice
         from repro.engine.pool import resolve_engine
 
         self.engine = resolve_engine(engine)
@@ -257,10 +385,11 @@ class BmcEngine:
         start = time.perf_counter()
         self.unroller.extend_to(k)
         for expr in initial_assumptions:
-            self.context.assert_lit(self.unroller.expr_lit(expr, 0))
+            self.context.assert_lit(self.unroller.expr_lit(expr, 0), frame=0)
         for t in range(k + 1):
             for expr in assumptions:
-                self.context.assert_lit(self.unroller.expr_lit(expr, t))
+                self.context.assert_lit(self.unroller.expr_lit(expr, t),
+                                        frame=t)
         if self.engine is not None:
             return self._check_frames_engine(k, assertion, conflict_limit,
                                              start)
@@ -303,6 +432,7 @@ class BmcEngine:
                 assumptions=[bad], conflict_limit=conflict_limit,
                 meta={"kind": "bmc-frame", "circuit": self.circuit.name,
                       "frame": t, "k": k},
+                slice=self.slice,
             ))
         verdicts = self.engine.solve_ordered(
             obligations, early_stop=lambda v: not v.unsat
@@ -313,7 +443,7 @@ class BmcEngine:
             if verdict is None or verdict.unsat:
                 continue
             if verdict.sat:
-                self.context.adopt_model(verdict.model_list())
+                self.context.adopt_verdict(obligations[t], verdict)
                 witness = self.extract_witness(k, t)
                 return BmcResult(
                     holds=False, depth=t, witness=witness,

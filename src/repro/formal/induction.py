@@ -55,6 +55,7 @@ def prove_by_induction(
     conflict_limit: Optional[int] = None,
     simplify: bool = True,
     engine=None,
+    slice: Optional[bool] = None,
 ) -> InductionResult:
     """Attempt to prove ``AG prop`` (under per-cycle assumptions) by
     k-induction.
@@ -74,7 +75,8 @@ def prove_by_induction(
     # passed down verbatim — a resolved legacy path becomes INLINE so
     # the BMC engine does not re-consult the environment defaults.
     base_engine = BmcEngine(circuit, init="reset", simplify=simplify,
-                            engine=engine if engine is not None else INLINE)
+                            engine=engine if engine is not None else INLINE,
+                            slice=slice)
     base = base_engine.check_always(
         prop, k=k, assumptions=assumptions, conflict_limit=conflict_limit
     )
@@ -97,13 +99,15 @@ def prove_by_induction(
         ctx.assert_lit(unroller.expr_lit(assume, k))
     bad = unroller.expr_lit(prop, k) ^ 1
     if engine is not None:
-        verdict = engine.solve(ctx.export_obligation(
+        step_ob = ctx.export_obligation(
             name=f"induction[{circuit.name}]@step{k}",
             assumptions=[bad], conflict_limit=conflict_limit,
             meta={"kind": "induction-step", "circuit": circuit.name, "k": k},
-        ))
+            slice=slice,
+        )
+        verdict = engine.solve(step_ob)
         if verdict.sat:
-            ctx.adopt_model(verdict.model_list())
+            ctx.adopt_verdict(step_ob, verdict)
         outcome = True if verdict.sat else (False if verdict.unsat else None)
     else:
         outcome = ctx.solve(assumptions=[bad], conflict_limit=conflict_limit)

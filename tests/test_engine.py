@@ -149,6 +149,53 @@ def test_context_adopt_model_feeds_value_reads():
     assert ctx.value(aig.and_(a, b)) is True
 
 
+def test_sliced_export_drops_unrelated_cones():
+    """Cones mapped for other queries do not ride along in a sliced
+    obligation; adopting a worker verdict completes the dropped gates by
+    evaluation, so out-of-slice values stay consistent with the circuit."""
+    ctx = SatContext(simplify=True)
+    aig = ctx.aig
+    a, b, c, d = aig.new_inputs(4)
+    ctx.assert_lit(c)
+    ctx.assert_lit(d)
+    target = aig.and_(a, b)
+    other = aig.and_(c, d)
+    ctx.mapper.assumption(other)       # unrelated emitted cone
+    sliced = ctx.export_obligation("t", assumptions=[target], slice=True)
+    full = ctx.export_obligation("t", assumptions=[target], slice=False)
+    assert sliced.size()["clauses"] < full.size()["clauses"]
+    assert sliced.remap is not None and sliced.orig_nvars == full.nvars
+    verdict = solve_obligation(sliced)
+    assert verdict.sat
+    ctx.adopt_verdict(sliced, verdict)
+    assert ctx.value(a) is True and ctx.value(b) is True
+    # The dropped AND(c, d) gate reads as the evaluation of its forced
+    # fan-in (c = d = True), not as a zero-filled don't-care.
+    assert ctx.value(other) is True
+
+
+def test_slice_fingerprint_ignores_remap_bookkeeping():
+    """Contexts that diverge *after* a query's cone was first mapped
+    produce obligations with different remaps but identical fingerprints
+    (the canonical-walk guarantee the UPEC frame order relies on)."""
+    def export(grow):
+        ctx = SatContext(simplify=True)
+        aig = ctx.aig
+        a, b, c = aig.new_inputs(3)
+        target = aig.and_(a, b)
+        ctx.mapper.assumption(target)          # shared walk prefix
+        if grow:
+            ctx.mapper.assumption(aig.xor_(b, c))   # divergent growth
+        return ctx.export_obligation("q", assumptions=[target],
+                                     slice=True)
+
+    plain, grown = export(False), export(True)
+    assert plain.fingerprint() == grown.fingerprint()
+    assert plain.clauses == grown.clauses
+    assert plain.remap != grown.remap
+    assert grown.remap is not None and plain.remap is None
+
+
 # ----------------------------------------------------------------------
 # SolverPool
 # ----------------------------------------------------------------------
@@ -209,6 +256,114 @@ def test_cache_skips_unknown_verdicts(tmp_path):
     verdict.model = None
     cache.store(ob, verdict)
     assert cache.lookup(ob) is None
+
+
+def test_cache_cleans_orphaned_tmp_files(tmp_path):
+    """Stale *.tmp files from writers that died mid-store are removed on
+    init; real verdict files — and *young* temp files, which may be a
+    live concurrent worker's in-flight write — survive."""
+    import os
+
+    cache = ResultCache(str(tmp_path))
+    ob = _obligation([[1, 2]])
+    cache.store(ob, solve_obligation(ob))
+    stale = tmp_path / "abc123.tmp"
+    stale.write_text("partial write")
+    old = os.path.getmtime(stale) - 7200
+    os.utime(stale, (old, old))
+    live = tmp_path / "inflight.tmp"
+    live.write_text("concurrent writer")
+    cache2 = ResultCache(str(tmp_path))
+    assert not stale.exists()
+    assert live.exists()
+    assert cache2.lookup(ob) is not None
+    assert len(cache2) == 1
+
+
+def _sized_obligations(n):
+    """Distinct obligations with near-identical stored-entry sizes."""
+    return [_obligation([[i + 1, i + 2], [-(i + 1), i + 2]],
+                        name=f"ob{i}", nvars=12)
+            for i in range(n)]
+
+
+def test_cache_lru_eviction_order(tmp_path):
+    obs = _sized_obligations(4)
+    verdicts = [solve_obligation(ob) for ob in obs]
+    cache = ResultCache(str(tmp_path))
+    for ob, verdict in zip(obs[:3], verdicts[:3]):
+        cache.store(ob, verdict)
+    entry_size = max(e["size"] for e in cache._entries.values())
+    # Cap at three entries; touch ob0 so ob1 becomes least-recent.
+    cache.max_bytes = 3 * entry_size + entry_size // 2
+    assert cache.lookup(obs[0]) is not None
+    cache.store(obs[3], verdicts[3])
+    assert cache.lookup(obs[1]) is None          # evicted: least recent
+    assert cache.lookup(obs[0]) is not None      # kept: recently touched
+    assert cache.lookup(obs[2]) is not None
+    assert cache.lookup(obs[3]) is not None
+    assert len(cache) == 3
+
+
+def test_cache_eviction_survives_reopen(tmp_path):
+    """Recency persists through the index file: a new ResultCache over
+    the same directory evicts in the order established before."""
+    obs = _sized_obligations(4)
+    verdicts = [solve_obligation(ob) for ob in obs]
+    cache = ResultCache(str(tmp_path))
+    for ob, verdict in zip(obs[:2], verdicts[:2]):
+        cache.store(ob, verdict)
+    cache.flush()   # index writes are batched; persist the recency now
+    entry_size = max(e["size"] for e in cache._entries.values())
+    reopened = ResultCache(str(tmp_path),
+                           max_bytes=2 * entry_size + entry_size // 2)
+    assert reopened.lookup(obs[0]) is not None   # ob0 most recent now
+    reopened.store(obs[2], verdicts[2])
+    assert reopened.lookup(obs[1]) is None
+    assert reopened.lookup(obs[0]) is not None
+
+
+def test_cache_corrupted_index_recovers(tmp_path):
+    obs = _sized_obligations(3)
+    cache = ResultCache(str(tmp_path))
+    for ob in obs[:2]:
+        cache.store(ob, solve_obligation(ob))
+    (tmp_path / "_index.json").write_text("{not json at all")
+    recovered = ResultCache(str(tmp_path))
+    # Both verdicts still served; the index was rebuilt from the listing.
+    assert recovered.lookup(obs[0]) is not None
+    assert recovered.lookup(obs[1]) is not None
+    assert set(recovered._entries) == \
+        {ob.fingerprint() for ob in obs[:2]}
+    # Stores (and pruning) keep working after recovery.
+    recovered.store(obs[2], solve_obligation(obs[2]))
+    assert len(recovered) == 3
+    fresh = ResultCache(str(tmp_path))
+    assert set(fresh._entries) == {ob.fingerprint() for ob in obs}
+
+
+def test_cache_index_not_counted_and_not_served(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    ob = _obligation([[1, 2]])
+    cache.store(ob, solve_obligation(ob))
+    cache.flush()
+    assert (tmp_path / "_index.json").exists()
+    assert len(cache) == 1
+
+
+def test_cache_save_merges_sibling_entries(tmp_path):
+    """A process persisting its index must not drop entries a sibling
+    stored in the shared directory since this process loaded it."""
+    obs = _sized_obligations(2)
+    mine = ResultCache(str(tmp_path))
+    sibling = ResultCache(str(tmp_path))
+    sibling.store(obs[1], solve_obligation(obs[1]))
+    sibling.flush()
+    mine.store(obs[0], solve_obligation(obs[0]))
+    mine.flush()    # last writer: must merge, not clobber, the sibling
+    fresh = ResultCache(str(tmp_path))
+    assert set(fresh._entries) == {ob.fingerprint() for ob in obs}
+    assert fresh._entries[obs[1].fingerprint()]["tick"] > 0
 
 
 def test_engine_serves_second_run_from_cache(tmp_path):
