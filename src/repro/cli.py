@@ -7,6 +7,8 @@ Commands
 ``methodology``  run the full Fig.-5 iterative flow
 ``sweep``        run a Tab.-I grid of methodology cells across workers
 ``attack``       run the Orc or Meltdown-style attack on the simulator
+``serve``        run a distributed proof-service broker
+``worker``       run a proof-service worker against a broker
 
 The solver-backed commands (``check``, ``methodology``, ``sweep``)
 uniformly accept:
@@ -21,9 +23,18 @@ uniformly accept:
 ``--cache-dir DIR``   persistent proof cache (re-runs skip proved
                       obligations)
 ``--conflict-limit``  per-query conflict budget
+``--connect H:P``     shard proof obligations over a running broker
+                      (``repro serve``) and its workers instead of a
+                      local pool
 
 ``attack`` takes ``--stats`` (timing-series counters) and ``--json``
 as well; it has no SAT solver, so the solver flags do not apply.
+
+Usage errors exit with code 64: ``--jobs 0`` or negative anywhere, a
+malformed broker address, and ``--connect`` combined with ``--jobs`` on
+``check``/``methodology`` (on ``sweep`` the two compose — ``--jobs``
+fans cells out locally while each cell's obligations shard over the
+broker).  An unreachable broker exits 69.
 """
 
 from __future__ import annotations
@@ -35,6 +46,7 @@ from typing import List, Optional
 
 from repro.core import UpecChecker, UpecMethodology, UpecModel, UpecScenario
 from repro.core.report import format_kv_block, format_table
+from repro.errors import DistError, UsageError
 from repro.hdl import circuit_stats
 from repro.soc import SocConfig, build_soc
 from repro.soc.config import (
@@ -78,12 +90,58 @@ def _add_solver_flags(parser: argparse.ArgumentParser) -> None:
                              "(default: $REPRO_ENGINE_JOBS or in-process)")
     parser.add_argument("--cache-dir", default=None,
                         help="persistent proof-result cache directory")
+    parser.add_argument("--connect", default=None, metavar="HOST:PORT",
+                        help="shard proof obligations over a distributed "
+                             "proof-service broker (see 'repro serve'; "
+                             "default: $REPRO_ENGINE_CONNECT)")
     _add_output_flags(parser)
 
 
+def _validate_jobs(jobs) -> None:
+    """The worker count must be a positive integer — ``--jobs 0`` has no
+    sensible meaning and must not silently fall through to a one-process
+    pool (or to ``multiprocessing`` with a clamped count)."""
+    if jobs is not None and jobs < 1:
+        raise UsageError(f"--jobs must be a positive integer, got {jobs}")
+
+
+def _validate_address(spec: str) -> None:
+    """A malformed HOST:PORT is a usage error (exit 64), not a
+    connection failure."""
+    from repro.dist.protocol import parse_address
+
+    try:
+        parse_address(spec)
+    except DistError as exc:
+        raise UsageError(str(exc)) from None
+
+
+def _connect_from_args(args) -> str:
+    """The effective broker address (flag, else environment), or None."""
+    if args.connect:
+        return args.connect
+    from repro.dist.remote import env_connect
+
+    return env_connect()
+
+
 def _engine_from_args(args):
-    """An explicit ProofEngine when --jobs/--cache-dir ask for one, else
-    None (the library then falls back to the environment defaults)."""
+    """An explicit engine when --connect/--jobs/--cache-dir ask for one,
+    else None (the library then falls back to the environment
+    defaults)."""
+    _validate_jobs(args.jobs)
+    if args.connect and args.jobs is not None:
+        raise UsageError("--jobs does not combine with --connect: the "
+                         "broker's worker fleet sets the parallelism")
+    # An explicit --jobs wins over the REPRO_ENGINE_CONNECT environment
+    # default (flags beat environment, as with the other engine knobs;
+    # --jobs plus explicit --connect already errored above).
+    connect = None if args.jobs is not None else _connect_from_args(args)
+    if connect is not None:
+        _validate_address(connect)
+        from repro.dist.remote import RemoteEngine
+
+        return RemoteEngine(connect, cache_dir=args.cache_dir)
     if args.jobs is None and args.cache_dir is None:
         return None
     from repro.engine import ProofEngine
@@ -164,6 +222,13 @@ def cmd_sweep(args) -> int:
     from repro.engine import CACHE_ENV, ScenarioSweep
     from repro.engine.pool import env_jobs
 
+    _validate_jobs(args.jobs)
+    connect = _connect_from_args(args)
+    if connect is not None:
+        # Unlike check/methodology, --jobs composes with --connect here:
+        # it fans cells out locally while each cell's obligations shard
+        # over the broker.
+        _validate_address(connect)
     variants = [v.strip() for v in args.variants.split(",") if v.strip()]
     for variant in variants:
         if variant not in VARIANTS:
@@ -183,6 +248,7 @@ def cmd_sweep(args) -> int:
         conflict_limit=args.conflict_limit,
         cache_dir=cache_dir,
         slice=_slice_from_args(args),
+        connect=connect,
     )
     result = sweep.run(jobs=jobs)
     human = format_table(
@@ -245,6 +311,61 @@ def cmd_attack(args) -> int:
     return 2 if leaked else 0
 
 
+def cmd_serve(args) -> int:
+    import time
+
+    from repro.dist.broker import Broker
+
+    if args.heartbeat_timeout < 2.0:
+        # Workers heartbeat every 1 s while solving; a tighter timeout
+        # evicts healthy busy workers and flaps every batch.
+        raise UsageError("--heartbeat-timeout must be at least 2 seconds "
+                         f"(got {args.heartbeat_timeout}); workers "
+                         "heartbeat once per second")
+    broker = Broker(
+        host=args.host, port=args.port,
+        heartbeat_timeout=args.heartbeat_timeout,
+    )
+    try:
+        broker.start()
+    except OSError as exc:
+        raise DistError(
+            f"cannot listen on {args.host}:{args.port}: {exc}") from exc
+    print(f"proof-service broker listening on {broker.address} "
+          f"(heartbeat timeout {broker.heartbeat_timeout:.0f}s)",
+          flush=True)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        broker.stop()
+    return 0
+
+
+def cmd_worker(args) -> int:
+    _validate_address(args.connect)
+    from repro.dist.worker import Worker
+
+    worker = Worker(
+        args.connect,
+        cache_dir=args.cache_dir,
+        name=args.name,
+        max_retries=args.max_retries,
+    )
+    print(f"worker {worker.name} pulling from {args.connect}"
+          + (f" (cache: {args.cache_dir})" if args.cache_dir else ""),
+          flush=True)
+    try:
+        solved = worker.run()
+    except KeyboardInterrupt:
+        solved = worker.solved
+    print(f"worker {worker.name} exiting after {solved} obligations",
+          flush=True)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -292,12 +413,47 @@ def build_parser() -> argparse.ArgumentParser:
     _add_output_flags(p_att)
     p_att.set_defaults(func=cmd_attack)
 
+    p_serve = sub.add_parser(
+        "serve", help="run a distributed proof-service broker"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=7769,
+                         help="listen port (0 picks an ephemeral port)")
+    p_serve.add_argument("--heartbeat-timeout", type=float, default=10.0,
+                         help="seconds of silence before a worker is "
+                              "declared dead and its work requeued")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_worker = sub.add_parser(
+        "worker", help="run a proof-service worker against a broker"
+    )
+    p_worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                          help="broker address (see 'repro serve')")
+    p_worker.add_argument("--cache-dir", default=None,
+                          help="local proof cache: verdict hits skip the "
+                               "solve, warm-start entries skip "
+                               "preprocessing, broker gossip is written "
+                               "through")
+    p_worker.add_argument("--name", default="",
+                          help="worker name shown in broker status")
+    p_worker.add_argument("--max-retries", type=int, default=10,
+                          help="reconnect attempts before giving up on "
+                               "an unreachable broker")
+    p_worker.set_defaults(func=cmd_worker)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except UsageError as exc:
+        print(f"usage error: {exc}", file=sys.stderr)
+        return 64
+    except DistError as exc:
+        print(f"distributed proof service error: {exc}", file=sys.stderr)
+        return 69
 
 
 if __name__ == "__main__":  # pragma: no cover

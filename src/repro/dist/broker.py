@@ -1,0 +1,518 @@
+"""The proof-service broker: queue, scheduler and fault recovery.
+
+One broker serves two kinds of connections (see
+:mod:`repro.dist.protocol` for the wire format):
+
+* **clients** (:class:`repro.dist.remote.RemotePool`) submit batches of
+  proof obligations and receive ``verdict`` messages as jobs complete —
+  in arbitrary completion order; the client re-orders.  A ``cancel``
+  drops the batch's queued jobs (network-wide sibling early-cancel: an
+  alert at frame *t* stops workers from ever seeing frames ``> t``).
+* **workers** (:mod:`repro.dist.worker`) pull jobs, stream results back
+  and heartbeat while solving.
+
+Fault tolerance: every job records the worker it was dispatched to.  A
+worker that disconnects, or whose heartbeat goes stale (dead *or* stuck
+— from the scheduler's perspective a hung worker is a dead one), is
+evicted and its in-flight jobs are requeued for the remaining workers;
+a job that has burned ``max_attempts`` workers fails the batch loudly
+instead of cycling forever.  Because solving an obligation is a pure
+function, a requeued job's verdict is bit-identical no matter which
+worker finally produces it — fault recovery cannot change a sweep's
+outcome, only its wall-clock.
+
+The broker also memoizes every definite verdict by obligation
+fingerprint for the lifetime of the process: resubmitted work (a re-run
+sweep, a requeued duplicate) is answered without touching a worker, and
+completed verdicts are *gossiped* to workers piggybacked on their next
+pull, so each worker's local :class:`repro.engine.cache.ResultCache`
+converges toward the union of everything the fleet has proved — a
+sweep's warm-cache behaviour survives sharding.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.dist.protocol import (
+    PROTO_VERSION,
+    Connection,
+    ProtocolError,
+    pick_codec,
+)
+from repro.engine.obligation import UNKNOWN
+
+_JobKey = Tuple[str, int]          # (batch_id, seq)
+
+#: Gossip entries piggybacked on one pull reply, at most — a worker
+#: joining a long-lived broker pages through the backlog over several
+#: pulls instead of receiving one giant frame.
+_GOSSIP_PAGE = 512
+#: Backlog cap: older gossip entries are dropped (workers that missed
+#: them still converge through the broker memo and their own solving).
+_GOSSIP_KEEP = 16384
+
+
+class _Job:
+    __slots__ = ("batch_id", "seq", "payload", "fingerprint", "attempts",
+                 "worker", "done")
+
+    def __init__(self, batch_id: str, seq: int, payload: Dict[str, Any],
+                 fingerprint: str) -> None:
+        self.batch_id = batch_id
+        self.seq = seq
+        self.payload = payload
+        self.fingerprint = fingerprint
+        self.attempts = 0
+        self.worker: Optional[str] = None   # currently assigned worker id
+        self.done = False
+
+
+class _Batch:
+    __slots__ = ("batch_id", "conn", "jobs", "cancelled")
+
+    def __init__(self, batch_id: str, conn: Connection) -> None:
+        self.batch_id = batch_id
+        self.conn = conn
+        self.jobs: Dict[int, _Job] = {}
+        self.cancelled = False
+
+
+class _Worker:
+    __slots__ = ("worker_id", "name", "conn", "last_seen", "inflight",
+                 "gossip_pos", "solved")
+
+    def __init__(self, worker_id: str, name: str, conn: Connection) -> None:
+        self.worker_id = worker_id
+        self.name = name
+        self.conn = conn
+        self.last_seen = time.monotonic()
+        self.inflight: Set[_JobKey] = set()
+        self.gossip_pos = 0
+        self.solved = 0
+
+
+class Broker:
+    """Obligation queue + worker registry + result router (threaded)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        heartbeat_timeout: float = 10.0,
+        max_attempts: int = 3,
+        handshake_timeout: float = 10.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.heartbeat_timeout = heartbeat_timeout
+        self.max_attempts = max_attempts
+        self.handshake_timeout = handshake_timeout
+        self._lock = threading.Lock()
+        self._queue: deque = deque()                 # ready _Job refs
+        self._batches: Dict[str, _Batch] = {}
+        self._workers: Dict[str, _Worker] = {}
+        self._verdicts: Dict[str, Dict[str, Any]] = {}   # fingerprint memo
+        self._gossip: List[Tuple[str, Dict[str, Any]]] = []
+        self._gossip_base = 0      # absolute index of _gossip[0]
+        self._ids = itertools.count(1)
+        self._listener: Optional[socket.socket] = None
+        self._threads: List[threading.Thread] = []
+        self._stopping = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def start(self) -> "Broker":
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(64)
+        self.port = listener.getsockname()[1]
+        self._listener = listener
+        accept = threading.Thread(target=self._accept_loop,
+                                  name="broker-accept", daemon=True)
+        sweep = threading.Thread(target=self._sweep_loop,
+                                 name="broker-sweep", daemon=True)
+        self._threads = [accept, sweep]
+        accept.start()
+        sweep.start()
+        return self
+
+    def stop(self) -> None:
+        self._stopping.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        with self._lock:
+            conns = [w.conn for w in self._workers.values()]
+            conns += [b.conn for b in self._batches.values()]
+        for conn in conns:
+            conn.close()
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+        self._threads = []
+
+    def __enter__(self) -> "Broker":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Introspection (status for CLI / tests)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "workers": [
+                    {"id": w.worker_id, "name": w.name,
+                     "inflight": len(w.inflight), "solved": w.solved}
+                    for w in self._workers.values()
+                ],
+                "queued": sum(1 for job in self._queue if not job.done),
+                "batches": len(self._batches),
+                "memo": len(self._verdicts),
+            }
+
+    # ------------------------------------------------------------------
+    # Accept / handshake
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stopping.is_set():
+            try:
+                sock, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            thread = threading.Thread(
+                target=self._serve, args=(sock,),
+                name="broker-conn", daemon=True,
+            )
+            thread.start()
+
+    def _serve(self, sock: socket.socket) -> None:
+        # Pre-registration connections are reaped on a deadline: a port
+        # scanner or half-dead peer that never sends its hello must not
+        # pin this thread (and its fd) forever — heartbeat eviction only
+        # covers registered workers.
+        sock.settimeout(self.handshake_timeout)
+        conn = Connection(sock)
+        try:
+            hello = conn.recv()
+        except (ProtocolError, OSError):
+            conn.close()
+            return
+        if hello is None or hello.get("type") != "hello":
+            conn.close()
+            return
+        if hello.get("proto") != PROTO_VERSION:
+            try:
+                conn.send({
+                    "type": "error",
+                    "reason": (f"protocol version mismatch: broker speaks "
+                               f"{PROTO_VERSION}, peer sent "
+                               f"{hello.get('proto')!r}"),
+                })
+            except OSError:
+                pass
+            conn.close()
+            return
+        role = hello.get("role")
+        if role not in ("worker", "client"):
+            try:
+                conn.send({"type": "error",
+                           "reason": f"unknown role {role!r}"})
+            except OSError:
+                pass
+            conn.close()
+            return
+        conn.codec = pick_codec(hello.get("codecs", ["json"]))
+        peer_id = f"{role}-{next(self._ids)}"
+        with self._lock:
+            workers = len(self._workers)
+        try:
+            conn.send({
+                "type": "welcome",
+                "proto": PROTO_VERSION,
+                "codec": conn.codec,
+                "id": peer_id,
+                "workers": workers,
+            })
+        except OSError:
+            conn.close()
+            return
+        # Registered: liveness is now the heartbeat sweep's job (for
+        # workers) or the client's own lifetime — a client may sit idle
+        # between batches for arbitrarily long.
+        sock.settimeout(None)
+        if role == "worker":
+            self._serve_worker(conn, peer_id, str(hello.get("name") or ""))
+        else:
+            self._serve_client(conn, peer_id)
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _serve_worker(self, conn: Connection, worker_id: str,
+                      name: str) -> None:
+        worker = _Worker(worker_id, name or worker_id, conn)
+        with self._lock:
+            self._workers[worker_id] = worker
+        try:
+            while not self._stopping.is_set():
+                try:
+                    message = conn.recv()
+                except ProtocolError:
+                    break
+                if message is None:
+                    break
+                kind = message.get("type")
+                with self._lock:
+                    worker.last_seen = time.monotonic()
+                if kind == "heartbeat":
+                    continue                  # liveness only, no reply
+                if kind == "pull":
+                    conn.send(self._dispatch(
+                        worker,
+                        want_gossip=bool(message.get("gossip", True)),
+                    ))
+                elif kind == "result":
+                    self._complete(worker, message)
+                    conn.send({"type": "ok"})
+                elif kind == "bye":
+                    break
+                else:
+                    conn.send({"type": "error",
+                               "reason": f"unexpected {kind!r}"})
+        except OSError:
+            pass
+        finally:
+            self._evict_worker(worker_id, "disconnected")
+
+    def _gossip_page(self, worker: _Worker) -> List[Dict[str, Any]]:
+        """The worker's next page of the gossip backlog (lock held)."""
+        start = max(worker.gossip_pos, self._gossip_base) - self._gossip_base
+        page = self._gossip[start:start + _GOSSIP_PAGE]
+        worker.gossip_pos = self._gossip_base + start + len(page)
+        return [{"fingerprint": fp, "verdict": verdict}
+                for fp, verdict in page]
+
+    def _dispatch(self, worker: _Worker,
+                  want_gossip: bool = True) -> Dict[str, Any]:
+        """Hand the next runnable job (plus pending gossip) to a worker.
+
+        ``want_gossip=False`` (a worker without a local cache, which
+        would only discard the payloads) skips the backlog paging."""
+        with self._lock:
+            if worker.worker_id not in self._workers:
+                # The heartbeat sweep evicted this worker while its pull
+                # was in flight; assigning now would put the job on an
+                # inflight set nobody will ever requeue.  The reply send
+                # fails on the closed socket and the handler exits.
+                return {"type": "idle", "gossip": []}
+            gossip = self._gossip_page(worker) if want_gossip else []
+            job: Optional[_Job] = None
+            while self._queue:
+                candidate = self._queue.popleft()
+                batch = self._batches.get(candidate.batch_id)
+                if candidate.done or batch is None or batch.cancelled:
+                    continue          # cancelled/stale entries just drain
+                job = candidate
+                break
+            if job is None:
+                return {"type": "idle", "gossip": gossip}
+            job.worker = worker.worker_id
+            job.attempts += 1
+            worker.inflight.add((job.batch_id, job.seq))
+            return {
+                "type": "job",
+                "batch_id": job.batch_id,
+                "seq": job.seq,
+                "obligation": job.payload,
+                "gossip": gossip,
+            }
+
+    def _complete(self, worker: _Worker, message: Dict[str, Any]) -> None:
+        batch_id = str(message.get("batch_id"))
+        seq = int(message.get("seq", -1))
+        verdict = message.get("verdict")
+        if not isinstance(verdict, dict):
+            return
+        deliver_conn: Optional[Connection] = None
+        with self._lock:
+            worker.inflight.discard((batch_id, seq))
+            worker.solved += 1
+            fingerprint = str(verdict.get("fingerprint", ""))
+            if fingerprint and verdict.get("status") != UNKNOWN \
+                    and fingerprint not in self._verdicts:
+                self._verdicts[fingerprint] = verdict
+                self._gossip.append((fingerprint, verdict))
+                overflow = len(self._gossip) - _GOSSIP_KEEP
+                if overflow > 0:
+                    del self._gossip[:overflow]
+                    self._gossip_base += overflow
+            batch = self._batches.get(batch_id)
+            if batch is None or batch.cancelled:
+                return
+            job = batch.jobs.get(seq)
+            if job is None or job.done:
+                return  # late duplicate of a requeued job
+            job.done = True
+            job.worker = None
+            deliver_conn = batch.conn
+            if all(j.done for j in batch.jobs.values()):
+                # Fully delivered: free the batch's obligation payloads.
+                self._batches.pop(batch_id, None)
+        if deliver_conn is not None:
+            try:
+                deliver_conn.send({"type": "verdict", "batch_id": batch_id,
+                                   "seq": seq, "verdict": verdict})
+            except OSError:
+                self._drop_client(batch_id)
+
+    def _evict_worker(self, worker_id: str, reason: str) -> None:
+        """Forget a worker and requeue (or fail) its in-flight jobs."""
+        failures: List[Tuple[Connection, Dict[str, Any]]] = []
+        with self._lock:
+            worker = self._workers.pop(worker_id, None)
+            if worker is None:
+                return
+            for batch_id, seq in worker.inflight:
+                batch = self._batches.get(batch_id)
+                if batch is None or batch.cancelled:
+                    continue
+                job = batch.jobs.get(seq)
+                if job is None or job.done:
+                    continue
+                job.worker = None
+                if job.attempts >= self.max_attempts:
+                    job.done = True
+                    failures.append((batch.conn, {
+                        "type": "failed", "batch_id": batch_id, "seq": seq,
+                        "reason": (f"gave up after {job.attempts} workers "
+                                   f"(last: {worker.name} {reason})"),
+                    }))
+                else:
+                    # Front of the queue: a requeued job is the oldest
+                    # outstanding work and unblocks its batch soonest.
+                    self._queue.appendleft(job)
+        worker.conn.close()
+        for conn, message in failures:
+            try:
+                conn.send(message)
+            except OSError:
+                pass
+
+    def _sweep_loop(self) -> None:
+        """Evict workers whose heartbeat has gone stale."""
+        interval = max(0.05, self.heartbeat_timeout / 4.0)
+        while not self._stopping.wait(interval):
+            now = time.monotonic()
+            with self._lock:
+                stale = [
+                    w.worker_id for w in self._workers.values()
+                    if now - w.last_seen > self.heartbeat_timeout
+                ]
+            for worker_id in stale:
+                self._evict_worker(worker_id, "stale heartbeat")
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def _serve_client(self, conn: Connection, client_id: str) -> None:
+        owned: Set[str] = set()
+        try:
+            while not self._stopping.is_set():
+                try:
+                    message = conn.recv()
+                except ProtocolError:
+                    break
+                if message is None:
+                    break
+                kind = message.get("type")
+                if kind == "submit":
+                    batch_id = str(message.get("batch_id"))
+                    owned.add(batch_id)
+                    try:
+                        self._submit(conn, batch_id,
+                                     message.get("jobs") or [])
+                    except (KeyError, TypeError, ValueError) as exc:
+                        # A malformed entry must not silently kill this
+                        # handler thread and strand the waiting client.
+                        self._drop_client(batch_id)
+                        conn.send({"type": "error",
+                                   "reason": f"malformed submit: {exc}"})
+                elif kind == "cancel":
+                    self._cancel(str(message.get("batch_id")))
+                    conn.send({"type": "cancelled",
+                               "batch_id": message.get("batch_id")})
+                elif kind == "status":
+                    conn.send({"type": "status", **self.snapshot()})
+                elif kind == "bye":
+                    break
+                else:
+                    conn.send({"type": "error",
+                               "reason": f"unexpected {kind!r}"})
+        except OSError:
+            pass
+        finally:
+            for batch_id in owned:
+                self._drop_client(batch_id)
+            conn.close()
+
+    def _submit(self, conn: Connection, batch_id: str,
+                jobs: List[Dict[str, Any]]) -> None:
+        """Queue a batch; fingerprints already memoized answer instantly."""
+        instant: List[Dict[str, Any]] = []
+        with self._lock:
+            batch = _Batch(batch_id, conn)
+            self._batches[batch_id] = batch
+            for entry in jobs:
+                seq = int(entry["seq"])
+                fingerprint = str(entry.get("fingerprint", ""))
+                job = _Job(batch_id, seq, entry["obligation"], fingerprint)
+                batch.jobs[seq] = job
+                memo = self._verdicts.get(fingerprint)
+                if memo is not None:
+                    job.done = True
+                    instant.append({"type": "verdict", "batch_id": batch_id,
+                                    "seq": seq, "verdict": memo})
+                else:
+                    self._queue.append(job)
+            if batch.jobs and all(j.done for j in batch.jobs.values()):
+                self._batches.pop(batch_id, None)  # fully memo-served
+        for message in instant:
+            try:
+                conn.send(message)
+            except OSError:
+                self._drop_client(batch_id)
+                return
+
+    def _cancel(self, batch_id: str) -> None:
+        # Dropping the batch frees its obligation payloads immediately;
+        # straggler results (a worker mid-solve cannot be interrupted)
+        # find no batch, which reads exactly like "cancelled" — their
+        # verdicts still land in the memo and the gossip feed.
+        with self._lock:
+            batch = self._batches.pop(batch_id, None)
+            if batch is not None:
+                batch.cancelled = True
+
+    def _drop_client(self, batch_id: str) -> None:
+        with self._lock:
+            batch = self._batches.pop(batch_id, None)
+            if batch is not None:
+                batch.cancelled = True

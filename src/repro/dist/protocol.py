@@ -1,0 +1,258 @@
+"""Wire protocol of the distributed proof service.
+
+Every message is one *frame* on a TCP stream::
+
+    4 bytes   payload length, big-endian (excludes the header)
+    1 byte    codec tag: b"J" (JSON, UTF-8) or b"M" (msgpack)
+    N bytes   the encoded message (a dict with a ``type`` key)
+
+msgpack is used when both ends have it (it is substantially cheaper for
+the clause-heavy obligation payloads); JSON is the always-available
+fallback, so a broker and worker from the same codebase can talk even on
+an interpreter without the optional dependency.  The codec tag travels
+per frame, so a receiver never guesses.
+
+Connections open with a versioned handshake: the dialing side sends a
+``hello`` (protocol version, role, supported codecs), the broker answers
+``welcome`` (echoing the version and picking the session codec) or
+``error`` — a version mismatch is rejected *before* any obligation bytes
+are exchanged, so mixed deployments fail fast with a clear reason
+instead of corrupting a sweep.
+
+:class:`Connection` wraps a socket with framed ``send``/``recv`` (the
+send side is lock-protected, so broker threads can deliver verdicts to a
+client connection while its handler thread answers control messages).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.engine.obligation import ProofObligation
+from repro.errors import DistError
+
+try:  # optional accelerator; the protocol works without it
+    import msgpack  # type: ignore
+except ImportError:  # pragma: no cover - environment-dependent
+    msgpack = None
+
+#: Bump on any incompatible message-shape change; handshakes between
+#: different versions are rejected.
+PROTO_VERSION = 1
+
+_HEADER = struct.Struct(">IB")
+_TAG_JSON = ord("J")
+_TAG_MSGPACK = ord("M")
+
+#: Sanity cap on a single frame (a corrupt length prefix must not make
+#: the receiver try to allocate gigabytes).
+MAX_FRAME_BYTES = 1 << 29
+
+
+class ProtocolError(DistError):
+    """Malformed frame, unknown codec, or a failed handshake."""
+
+
+def supported_codecs() -> List[str]:
+    """Codecs this interpreter can decode, preferred first."""
+    return ["msgpack", "json"] if msgpack is not None else ["json"]
+
+
+def pick_codec(offered: Any) -> str:
+    """The session codec: our best codec the peer also offered."""
+    offered = [c for c in offered if isinstance(c, str)] \
+        if isinstance(offered, (list, tuple)) else []
+    for codec in supported_codecs():
+        if codec in offered:
+            return codec
+    return "json"
+
+
+def _encode(message: Dict[str, Any], codec: str) -> Tuple[int, bytes]:
+    if codec == "msgpack" and msgpack is not None:
+        return _TAG_MSGPACK, msgpack.packb(message, use_bin_type=True)
+    return _TAG_JSON, json.dumps(message, separators=(",", ":")).encode()
+
+
+def _decode(tag: int, payload: bytes) -> Dict[str, Any]:
+    if tag == _TAG_JSON:
+        message = json.loads(payload.decode("utf-8"))
+    elif tag == _TAG_MSGPACK:
+        if msgpack is None:
+            raise ProtocolError("peer sent a msgpack frame but msgpack is "
+                                "not available here")
+        message = msgpack.unpackb(payload, raw=False)
+    else:
+        raise ProtocolError(f"unknown codec tag {tag!r}")
+    if not isinstance(message, dict):
+        raise ProtocolError("message is not a mapping")
+    return message
+
+
+class Connection:
+    """A framed, codec-negotiated message stream over one socket."""
+
+    def __init__(self, sock: socket.socket, codec: str = "json") -> None:
+        self.sock = sock
+        self.codec = codec
+        self._send_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def send(self, message: Dict[str, Any]) -> None:
+        tag, payload = _encode(message, self.codec)
+        frame = _HEADER.pack(len(payload), tag) + payload
+        with self._send_lock:
+            self.sock.sendall(frame)
+
+    def _recv_exact(self, count: int) -> Optional[bytes]:
+        """Read exactly ``count`` bytes; None on EOF at a frame boundary."""
+        chunks = []
+        got = 0
+        while got < count:
+            chunk = self.sock.recv(count - got)
+            if not chunk:
+                if got:
+                    raise ProtocolError("connection closed mid-frame")
+                return None
+            chunks.append(chunk)
+            got += len(chunk)
+        return b"".join(chunks)
+
+    def recv(self) -> Optional[Dict[str, Any]]:
+        """Next message, or None when the peer closed the stream."""
+        header = self._recv_exact(_HEADER.size)
+        if header is None:
+            return None
+        length, tag = _HEADER.unpack(header)
+        if length > MAX_FRAME_BYTES:
+            raise ProtocolError(f"frame of {length} bytes exceeds the "
+                                f"{MAX_FRAME_BYTES}-byte cap")
+        payload = self._recv_exact(length)
+        if payload is None:
+            raise ProtocolError("connection closed mid-frame")
+        return _decode(tag, payload)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Handshake
+# ----------------------------------------------------------------------
+def dial(address: Tuple[str, int], role: str,
+         name: str = "", timeout: Optional[float] = None) -> \
+        Tuple[Connection, Dict[str, Any]]:
+    """Connect to a broker, run the client side of the handshake.
+
+    Returns the negotiated connection and the ``welcome`` message.
+    Raises :class:`ProtocolError` on rejection, :class:`DistError`
+    (with the address in the message) when the broker is unreachable.
+    """
+    try:
+        sock = socket.create_connection(address, timeout=timeout)
+    except OSError as exc:
+        raise DistError(
+            f"cannot reach broker at {address[0]}:{address[1]}: {exc}"
+        ) from exc
+    conn = Connection(sock)
+    try:
+        # The timeout stays armed through the handshake: a peer that
+        # accepts the TCP connection but never answers (a black-holed
+        # link, some unrelated service on the port) must fail loudly,
+        # not hang the CLI.
+        conn.send({
+            "type": "hello",
+            "proto": PROTO_VERSION,
+            "role": role,
+            "name": name,
+            "codecs": supported_codecs(),
+        })
+        try:
+            reply = conn.recv()
+        except OSError as exc:   # socket.timeout included
+            raise ProtocolError(
+                f"broker at {address[0]}:{address[1]} did not complete "
+                f"the handshake: {exc}") from exc
+        if reply is None:
+            raise ProtocolError("broker closed the connection during the "
+                                "handshake")
+        if reply.get("type") == "error":
+            raise ProtocolError(
+                f"broker rejected the handshake: {reply.get('reason')}")
+        if reply.get("type") != "welcome":
+            raise ProtocolError(
+                f"unexpected handshake reply {reply.get('type')!r}")
+        conn.codec = pick_codec([reply.get("codec", "json")])
+        sock.settimeout(None)
+        return conn, reply
+    except BaseException:
+        conn.close()
+        raise
+
+
+def parse_address(spec: str) -> Tuple[str, int]:
+    """Parse a ``HOST:PORT`` connect string."""
+    host, sep, port = spec.rpartition(":")
+    if not sep or not host:
+        raise DistError(f"expected HOST:PORT, got {spec!r}")
+    try:
+        number = int(port)
+    except ValueError:
+        raise DistError(f"invalid port in {spec!r}") from None
+    if not 1 <= number <= 65535:
+        # getaddrinfo would silently wrap the port modulo 65536.
+        raise DistError(f"port out of range in {spec!r}")
+    return host, number
+
+
+# ----------------------------------------------------------------------
+# Obligation transport
+# ----------------------------------------------------------------------
+def obligation_to_wire(obligation: ProofObligation) -> Dict[str, Any]:
+    """The shippable form of an obligation.
+
+    The slice ``remap``/``orig_nvars`` bookkeeping stays with the
+    exporting context (a worker never needs it — the verdict's packed
+    model is over the obligation's own numbering).
+    """
+    return {
+        "name": obligation.name,
+        "nvars": obligation.nvars,
+        "clauses": [list(c) for c in obligation.clauses],
+        "assumptions": list(obligation.assumptions),
+        "frozen": list(obligation.frozen),
+        "simplify": bool(obligation.simplify),
+        "conflict_limit": obligation.conflict_limit,
+        "meta": dict(obligation.meta),
+    }
+
+
+def obligation_from_wire(data: Dict[str, Any]) -> ProofObligation:
+    try:
+        return ProofObligation(
+            name=str(data["name"]),
+            nvars=int(data["nvars"]),
+            clauses=[list(map(int, c)) for c in data["clauses"]],
+            assumptions=list(map(int, data["assumptions"])),
+            frozen=list(map(int, data.get("frozen", ()))),
+            simplify=bool(data.get("simplify", True)),
+            conflict_limit=data.get("conflict_limit"),
+            meta=dict(data.get("meta", {})),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed obligation payload: {exc}") from exc

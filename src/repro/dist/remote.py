@@ -1,0 +1,237 @@
+"""Client-side scheduler: a drop-in pool backed by a remote broker.
+
+:class:`RemotePool` speaks the :class:`repro.engine.pool.SolverPool`
+interface (``solve_one`` / ``solve_ordered`` with ordered consumption,
+early-stop and an ``on_verdict`` observer), but ships every obligation
+to a :class:`repro.dist.broker.Broker` instead of a local process pool.
+Wrapping it in a :class:`ProofEngine` gives :class:`RemoteEngine` — the
+object ``UpecChecker``, ``UpecMethodology``, ``InductiveDiffProof``,
+``BmcEngine`` and ``ScenarioSweep`` accept as ``engine=``, so a run
+shards across machines without any call-site change beyond the engine
+swap.
+
+Ordering and early-cancel semantics mirror the local pool exactly:
+verdicts arrive in completion order but are *consumed* in submission
+order, the first verdict that trips ``early_stop`` cancels the batch on
+the broker (queued siblings are never dispatched), and results that
+finished anyway are still observed so caches benefit.  Since solving is
+a pure function of the obligation, a remote run's verdict stream is
+bit-identical to a local one's.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.dist.protocol import (
+    Connection,
+    dial,
+    obligation_to_wire,
+    parse_address,
+)
+from repro.engine.obligation import ProofObligation, Verdict
+from repro.engine.pool import ProofEngine
+from repro.errors import DistError
+
+#: Environment knob: the CLI's default broker address (``HOST:PORT``) —
+#: ``repro check``/``methodology``/``sweep`` shard over it without the
+#: ``--connect`` flag (an explicit ``--jobs`` overrides it back to the
+#: local pool).  Library call sites constructed with ``engine=None``
+#: still resolve through ``REPRO_ENGINE_JOBS``/``REPRO_ENGINE_CACHE``
+#: only; pass a :class:`RemoteEngine` explicitly to shard them.
+CONNECT_ENV = "REPRO_ENGINE_CONNECT"
+
+
+class RemotePool:
+    """SolverPool-compatible scheduler that solves on a broker's fleet."""
+
+    def __init__(self, address: str, timeout: Optional[float] = 10.0) -> None:
+        self.address = parse_address(address)
+        self._timeout = timeout
+        self._conn: Optional[Connection] = None
+        self._batch_ids = itertools.count(1)
+        self._client_id = ""
+        self._workers_at_connect = 0
+        self._connect()
+
+    # ------------------------------------------------------------------
+    @property
+    def jobs(self) -> int:
+        """Advertised parallelism.
+
+        At least 2 even for a single-worker fleet: the scheduler layers
+        (:meth:`UpecChecker._check_engine`) use ``jobs == 1`` to mean
+        "solving is in-process and lazy export pays", which is never
+        true across a network — remote runs always take the eager
+        batch-export path, whose obligation stream is bit-identical to
+        the lazy one's.
+        """
+        return max(2, self._workers_at_connect)
+
+    def _connect(self) -> None:
+        conn, welcome = dial(self.address, role="client",
+                             timeout=self._timeout)
+        self._conn = conn
+        self._client_id = str(welcome.get("id", ""))
+        self._workers_at_connect = int(welcome.get("workers", 0))
+
+    def close(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.send({"type": "bye"})
+            except OSError:
+                pass
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "RemotePool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def status(self) -> Dict[str, Any]:
+        """The broker's live counters (workers, queue depth, memo size)."""
+        conn = self._require_conn()
+        self._send(conn, {"type": "status"})
+        while True:
+            reply = self._recv(conn)
+            kind = reply.get("type")
+            if kind == "status":
+                return reply
+            if kind in ("verdict", "cancelled", "failed"):
+                continue  # stragglers of an earlier cancelled batch
+            raise DistError(f"unexpected reply {kind!r}")
+
+    def _require_conn(self) -> Connection:
+        if self._conn is None:
+            raise DistError("remote pool is closed")
+        return self._conn
+
+    def _recv(self, conn: Connection) -> Dict[str, Any]:
+        message = conn.recv()
+        if message is None:
+            raise DistError(
+                f"broker at {self.address[0]}:{self.address[1]} closed the "
+                f"connection mid-run")
+        return message
+
+    def _send(self, conn: Connection, message: Dict[str, Any]) -> None:
+        """Send, surfacing a dead broker as DistError (exit 69 at the
+        CLI) rather than a raw BrokenPipeError."""
+        try:
+            conn.send(message)
+        except OSError as exc:
+            raise DistError(
+                f"lost connection to broker at {self.address[0]}:"
+                f"{self.address[1]}: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    def solve_one(self, obligation: ProofObligation,
+                  cache=None) -> Verdict:
+        result = self.solve_ordered([obligation])
+        assert result[0] is not None
+        return result[0]
+
+    def solve_ordered(
+        self,
+        obligations: Sequence[ProofObligation],
+        early_stop: Optional[Callable[[Verdict], bool]] = None,
+        on_verdict: Optional[Callable[[ProofObligation, Verdict], None]]
+        = None,
+        cache=None,
+    ) -> List[Optional[Verdict]]:
+        """Ship a batch to the broker; consume verdicts in order.
+
+        ``cache`` is accepted for pool-interface compatibility and
+        ignored: remote workers consult their own caches, and the
+        engine wrapper already filtered client-side hits.
+        """
+        if not obligations:
+            return []
+        conn = self._require_conn()
+        batch_id = f"{self._client_id}b{next(self._batch_ids)}"
+        self._send(conn, {
+            "type": "submit",
+            "batch_id": batch_id,
+            "jobs": [
+                {"seq": i, "fingerprint": ob.fingerprint(),
+                 "obligation": obligation_to_wire(ob)}
+                for i, ob in enumerate(obligations)
+            ],
+        })
+        results: List[Optional[Verdict]] = [None] * len(obligations)
+        arrived: Dict[int, Verdict] = {}
+        consumed = 0
+        stopped = False
+        while consumed < len(obligations):
+            message = self._recv(conn)
+            kind = message.get("type")
+            if kind == "verdict":
+                if message.get("batch_id") != batch_id:
+                    continue  # stray frame from an older cancelled batch
+                seq = int(message["seq"])
+                verdict = Verdict.from_dict(message["verdict"])
+                if stopped:
+                    # Mirrors the local pool: results that finished
+                    # anyway are observed (cache stores) but stay out of
+                    # the ordered result list past the stop point.
+                    if on_verdict is not None:
+                        on_verdict(obligations[seq], verdict)
+                    continue
+                arrived[seq] = verdict
+                while consumed in arrived:
+                    verdict = arrived.pop(consumed)
+                    results[consumed] = verdict
+                    if on_verdict is not None:
+                        on_verdict(obligations[consumed], verdict)
+                    consumed += 1
+                    if early_stop is not None and early_stop(verdict):
+                        stopped = True
+                        self._send(conn, {"type": "cancel",
+                                          "batch_id": batch_id})
+                        # Out-of-order verdicts already buffered past
+                        # the stop point finished their solves — hand
+                        # them to the observer (cache stores), exactly
+                        # like the local pool's post-stop harvest.
+                        if on_verdict is not None:
+                            for extra in sorted(arrived):
+                                on_verdict(obligations[extra],
+                                           arrived[extra])
+                        arrived.clear()
+                        break
+            elif kind == "cancelled":
+                if message.get("batch_id") == batch_id:
+                    break
+            elif kind == "failed":
+                if message.get("batch_id") != batch_id or stopped:
+                    # Mismatched batch, or a straggler racing our cancel:
+                    # the caller already has every verdict it asked for.
+                    continue
+                raise DistError(
+                    f"obligation {message.get('seq')} of batch {batch_id} "
+                    f"failed on the broker: {message.get('reason')}")
+            else:
+                raise DistError(f"unexpected message {kind!r} from broker")
+        return results
+
+
+class RemoteEngine(ProofEngine):
+    """A :class:`ProofEngine` whose pool is a broker connection.
+
+    The client-side result cache still applies (hits never cross the
+    network); misses are sharded over the broker's workers.
+    """
+
+    def __init__(self, address: str, cache_dir: Optional[str] = None,
+                 cache=None, timeout: Optional[float] = 10.0) -> None:
+        super().__init__(pool=RemotePool(address, timeout=timeout),
+                         cache_dir=cache_dir, cache=cache)
+
+
+def env_connect() -> Optional[str]:
+    """The ``REPRO_ENGINE_CONNECT`` broker address, if set."""
+    return os.environ.get(CONNECT_ENV) or None

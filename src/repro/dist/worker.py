@@ -1,0 +1,194 @@
+"""The proof-service worker daemon.
+
+A worker dials the broker, registers via the versioned handshake and
+then loops: pull an obligation, solve it with the exact same pure
+function local pools use (:func:`repro.engine.obligation.solve_obligation`
+— same preprocessing stack, same CDCL search, hence bit-identical
+verdicts no matter which machine runs the job), stream the verdict back.
+
+With a ``cache_dir`` the worker fronts solving with a local
+:class:`repro.engine.cache.ResultCache`: verdict hits skip the solve
+entirely, warm-started simplified clause databases skip the
+preprocessing pass, and every *gossiped* verdict the broker piggybacks
+on a pull is written through — so a fleet of workers sharing nothing but
+the broker converges to a common proof cache.
+
+While a solve runs, a side thread heartbeats on the same connection so
+the broker can tell a busy worker from a dead one.  A lost broker
+connection is retried with backoff (work in flight during the loss is
+the broker's problem: it requeues on disconnect).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Optional, Tuple
+
+from repro.dist.protocol import (
+    Connection,
+    DistError,
+    ProtocolError,
+    obligation_from_wire,
+    parse_address,
+    dial,
+)
+from repro.engine.cache import ResultCache
+from repro.engine.obligation import Verdict, solve_obligation
+
+
+class Worker:
+    """One pull-solve-report loop against a broker."""
+
+    def __init__(
+        self,
+        address: str,
+        cache_dir: Optional[str] = None,
+        name: str = "",
+        poll_interval: float = 0.05,
+        heartbeat_interval: float = 1.0,
+        max_retries: int = 10,
+        retry_delay: float = 0.5,
+        dial_timeout: float = 10.0,
+    ) -> None:
+        self.address: Tuple[str, int] = parse_address(address)
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.name = name or f"worker-pid{os.getpid()}"
+        self.poll_interval = poll_interval
+        self.heartbeat_interval = heartbeat_interval
+        self.max_retries = max_retries
+        self.retry_delay = retry_delay
+        self.dial_timeout = dial_timeout
+        self.solved = 0
+        self._stop = threading.Event()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    # ------------------------------------------------------------------
+    def run(self) -> int:
+        """Serve until stopped or the broker stays unreachable.
+
+        Returns the number of obligations solved (cache hits included).
+        """
+        retries = 0
+        try:
+            while not self._stop.is_set():
+                try:
+                    # The armed timeout makes a black-holed broker a
+                    # retryable failure instead of an eternal hang.
+                    conn, _welcome = dial(self.address, role="worker",
+                                          name=self.name,
+                                          timeout=self.dial_timeout)
+                except DistError:
+                    retries += 1
+                    if retries > self.max_retries:
+                        raise
+                    if self._stop.wait(self.retry_delay):
+                        break
+                    continue
+                retries = 0
+                try:
+                    self._serve(conn)
+                finally:
+                    conn.close()
+        finally:
+            if self.cache is not None:
+                self.cache.flush()
+        return self.solved
+
+    # ------------------------------------------------------------------
+    def _serve(self, conn: Connection) -> None:
+        """One connection's pull loop; returns when the link drops."""
+        alive = threading.Event()
+        alive.set()
+
+        def heartbeat() -> None:
+            while alive.is_set() and not self._stop.is_set():
+                if self._stop.wait(self.heartbeat_interval):
+                    return
+                if not alive.is_set():
+                    return
+                try:
+                    conn.send({"type": "heartbeat"})
+                except OSError:
+                    return
+
+        pulse = threading.Thread(target=heartbeat, name="worker-heartbeat",
+                                 daemon=True)
+        pulse.start()
+        try:
+            while not self._stop.is_set():
+                # A cache-less worker declines gossip: it could only
+                # discard the verdict payloads the broker would ship.
+                conn.send({"type": "pull",
+                           "gossip": self.cache is not None})
+                reply = self._recv(conn)
+                if reply is None:
+                    return
+                self._absorb_gossip(reply.get("gossip") or ())
+                kind = reply.get("type")
+                if kind == "idle":
+                    if self._stop.wait(self.poll_interval):
+                        return
+                    continue
+                if kind != "job":
+                    raise ProtocolError(f"unexpected reply {kind!r} to pull")
+                verdict = self._solve(reply["obligation"])
+                conn.send({
+                    "type": "result",
+                    "batch_id": reply.get("batch_id"),
+                    "seq": reply.get("seq"),
+                    "verdict": verdict.to_dict(),
+                })
+                if self._recv(conn) is None:   # ack ("ok")
+                    return
+        except OSError:
+            return
+        finally:
+            alive.clear()
+
+    @staticmethod
+    def _recv(conn: Connection):
+        try:
+            return conn.recv()
+        except ProtocolError:
+            return None
+
+    # ------------------------------------------------------------------
+    def _solve(self, payload) -> Verdict:
+        obligation = obligation_from_wire(payload)
+        if self.cache is not None:
+            hit = self.cache.lookup(obligation)
+            if hit is not None:
+                self.solved += 1
+                return hit
+        verdict = solve_obligation(obligation, simp_cache=self.cache)
+        self.solved += 1
+        if self.cache is not None:
+            self.cache.store(obligation, verdict)
+        return verdict
+
+    def _absorb_gossip(self, entries) -> None:
+        """Write broker-gossiped verdicts through to the local cache."""
+        if self.cache is None:
+            return
+        for entry in entries:
+            try:
+                fingerprint = str(entry["fingerprint"])
+                verdict = Verdict.from_dict(entry["verdict"])
+            except (KeyError, TypeError, ValueError):
+                continue
+            if verdict.fingerprint != fingerprint:
+                continue
+            if self.cache.has(fingerprint):
+                continue  # our own solve gossiped back, or already seen
+            self.cache.store_verdict(verdict, meta={"gossip": True})
+
+
+def run_worker(address: str, cache_dir: Optional[str] = None,
+               **kwargs) -> int:
+    """Run a worker loop to completion (module-level so tests can use it
+    as a ``multiprocessing`` target)."""
+    return Worker(address, cache_dir=cache_dir, **kwargs).run()

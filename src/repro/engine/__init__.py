@@ -28,6 +28,13 @@ stack (``UpecChecker``, ``UpecMethodology``, ``InductiveDiffProof``,
 ``BmcEngine``, ``prove_by_induction``) accepts as its ``engine``
 parameter.  ``REPRO_ENGINE_JOBS`` / ``REPRO_ENGINE_CACHE`` configure a
 process-wide default engine for call sites that were not handed one.
+
+The scheduler seam is pluggable: :mod:`repro.dist` provides
+:class:`~repro.dist.remote.RemotePool`, a SolverPool-compatible
+scheduler that ships obligations to a network broker
+(``ProofEngine(pool=...)`` / :class:`~repro.dist.remote.RemoteEngine`),
+sharding the same workloads across machines with bit-identical
+verdicts.
 """
 
 from repro.engine.cache import CACHE_MAX_ENV, ResultCache
@@ -52,6 +59,8 @@ from repro.engine.pool import (
 )
 from repro.engine.slice import SLICE_ENV, SliceResult, env_slice, slice_cnf
 from repro.engine.sweep import (
+    CELL_ALERT_WINDOW,
+    CELL_METHODOLOGY,
     ScenarioSweep,
     SweepCell,
     SweepOutcome,
@@ -61,6 +70,8 @@ from repro.engine.sweep import (
 __all__ = [
     "CACHE_ENV",
     "CACHE_MAX_ENV",
+    "CELL_ALERT_WINDOW",
+    "CELL_METHODOLOGY",
     "INLINE",
     "JOBS_ENV",
     "SLICE_ENV",

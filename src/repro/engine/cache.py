@@ -11,6 +11,13 @@ can share one cache directory without locking.
 Only definite verdicts (sat/unsat) are stored: an ``unknown`` outcome
 depends on the conflict limit of the run that produced it.
 
+Besides verdicts the store keeps *warm-start* entries — the post-BVE
+simplified clause database of an obligation, under the sibling key
+``<fingerprint>.simp`` — so a repeat solve whose verdict is missing
+(evicted, or the first run hit its conflict limit) at least skips the
+preprocessing pass (:meth:`store_simplified` /
+:meth:`lookup_simplified`; see ``solve_obligation``).
+
 The store is size-capped: a small index file (``_index.json``) tracks
 per-entry sizes and a logical LRU clock; when ``max_bytes`` (or the
 ``REPRO_ENGINE_CACHE_MAX_BYTES`` environment knob) is exceeded, the
@@ -40,6 +47,11 @@ from repro.engine.obligation import UNKNOWN, ProofObligation, Verdict
 CACHE_MAX_ENV = "REPRO_ENGINE_CACHE_MAX_BYTES"
 
 _INDEX_NAME = "_index.json"
+
+#: Key suffix of warm-start entries: the simplified clause database of
+#: an obligation lives beside its verdict as ``<fingerprint>.simp.json``
+#: and shares the index/LRU machinery.
+_SIMP_SUFFIX = ".simp"
 
 #: A ``*.tmp`` file this old cannot be an in-flight write of a live
 #: concurrent worker; younger ones are left alone so opening a shared
@@ -75,6 +87,22 @@ class ResultCache:
         self._clean_orphans()
         self._tick, self._entries = self._load_index()
         self._dirty = 0
+
+    def __enter__(self) -> "ResultCache":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.flush()
+
+    def __del__(self) -> None:
+        # A worker that dies mid-sweep (or any holder that never reaches
+        # ProofEngine.close) must not lose its batched index updates —
+        # recency ticks feed LRU eviction, and an index that never sees
+        # new entries keeps adopting them at tick 0, eviction-first.
+        try:
+            self.flush()
+        except Exception:   # interpreter teardown: best-effort only
+            pass
 
     # ------------------------------------------------------------------
     # Index maintenance
@@ -224,6 +252,11 @@ class ResultCache:
     def _path(self, fingerprint: str) -> str:
         return os.path.join(self.root, f"{fingerprint}.json")
 
+    def has(self, fingerprint: str) -> bool:
+        """Whether a verdict for this fingerprint is on disk (no read,
+        no recency touch — used to skip redundant gossip writes)."""
+        return os.path.exists(self._path(fingerprint))
+
     def lookup(self, obligation: ProofObligation) -> Optional[Verdict]:
         """Return the stored verdict for an obligation, or None."""
         fingerprint = obligation.fingerprint()
@@ -245,15 +278,26 @@ class ResultCache:
 
     def store(self, obligation: ProofObligation, verdict: Verdict) -> None:
         """Persist a definite verdict (atomic write; unknowns are skipped)."""
+        self.store_verdict(verdict, meta=obligation.meta,
+                           size=obligation.size())
+
+    def store_verdict(self, verdict: Verdict,
+                      meta: Optional[Dict[str, Any]] = None,
+                      size: Optional[Dict[str, int]] = None) -> None:
+        """Persist a verdict known only by its fingerprint — the gossip
+        path: a broker-relayed verdict arrives without its obligation."""
         if verdict.status == UNKNOWN or verdict.cached:
             return
         payload: Dict[str, Any] = {
             "verdict": verdict.to_dict(),
-            "meta": obligation.meta,
-            "size": obligation.size(),
+            "meta": meta if meta is not None else {},
+            "size": size if size is not None else {},
         }
+        self._write_entry(verdict.fingerprint, payload)
+
+    def _write_entry(self, key: str, payload: Dict[str, Any]) -> None:
         encoded = json.dumps(payload)
-        path = self._path(verdict.fingerprint)
+        path = self._path(key)
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
@@ -265,10 +309,35 @@ class ResultCache:
             except OSError:
                 pass
             return
-        self._touch(verdict.fingerprint, size=len(encoded))
+        self._touch(key, size=len(encoded))
         if self._prune() or self._dirty >= _SAVE_EVERY:
             self._save_index()
 
+    # ------------------------------------------------------------------
+    # Warm-start entries (post-BVE simplified clause databases)
+    # ------------------------------------------------------------------
+    def store_simplified(self, fingerprint: str,
+                         payload: Dict[str, Any]) -> None:
+        """Persist an obligation's simplified clause database (see
+        ``SimplifyingSolver.export_simplified``) under a sibling key of
+        its verdict entry; subject to the same LRU byte cap."""
+        self._write_entry(fingerprint + _SIMP_SUFFIX,
+                          {"simplified": payload})
+
+    def lookup_simplified(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        key = fingerprint + _SIMP_SUFFIX
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            payload = data["simplified"]
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        self._touch(key)
+        return payload
+
     def __len__(self) -> int:
         return sum(1 for name in os.listdir(self.root)
-                   if name.endswith(".json") and name != _INDEX_NAME)
+                   if name.endswith(".json") and name != _INDEX_NAME
+                   and not name.endswith(_SIMP_SUFFIX + ".json"))

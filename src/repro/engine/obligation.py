@@ -21,7 +21,8 @@ from array import array
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.formal.preprocess import SimplifyingSolver
+from repro.errors import FormalError
+from repro.formal.preprocess import SimplifyingSolver, reconstruct_model
 from repro.formal.solver import CdclSolver
 
 SAT = "sat"
@@ -152,10 +153,97 @@ class Verdict:
         )
 
 
-def solve_obligation(obligation: ProofObligation) -> Verdict:
+def _verdict_from_outcome(obligation: ProofObligation, fingerprint: str,
+                          outcome: Optional[bool],
+                          model: Optional[bytes],
+                          stats: Dict[str, int], start: float) -> Verdict:
+    if outcome is True:
+        status = SAT
+    elif outcome is False:
+        status = UNSAT
+    else:
+        status = UNKNOWN
+    return Verdict(
+        status=status,
+        obligation=obligation.name,
+        fingerprint=fingerprint,
+        model=model,
+        nvars=obligation.nvars,
+        runtime_s=time.perf_counter() - start,
+        stats=stats,
+    )
+
+
+def _solve_warm(obligation: ProofObligation, fingerprint: str,
+                warm: Dict[str, Any], start: float) -> Optional[Verdict]:
+    """Solve on a cached post-simplification clause database.
+
+    The simplified formula is equisatisfiable with the obligation's CNF
+    under its (frozen, hence preserved) assumptions, and the search on
+    it is exactly the search the cold path's inner CDCL solver would
+    run after re-simplifying from scratch — warm and cold verdicts are
+    bit-identical, the preprocessing pass is just skipped.  Returns
+    None when the payload does not fit the obligation (the cold path
+    then runs as usual).
+    """
+    try:
+        nvars = int(warm["nvars"])
+        clauses = [[int(lit) for lit in clause]
+                   for clause in warm["clauses"]]
+        stack = [(int(entry[0]), [int(lit) for lit in entry[1]], True)
+                 for entry in warm["stack"]]
+    except (KeyError, TypeError, ValueError, IndexError):
+        return None
+    if nvars != obligation.nvars:
+        return None
+    # Reconstruction literals index straight into the model list, so a
+    # corrupted stack must be rejected here (clause literals get the
+    # same treatment from the solver's own range checks below).
+    for lit, clause, _active in stack:
+        if not 1 <= abs(lit) <= nvars or \
+                any(q == 0 or abs(q) > nvars for q in clause):
+            return None
+    solver = CdclSolver()
+    for _ in range(nvars):
+        solver.new_var()
+    try:
+        solver.add_clauses(clauses)
+    except FormalError:
+        # A corrupted warm entry (out-of-range literal) degrades to the
+        # cold path, exactly like any other cache corruption.
+        return None
+    outcome = solver.solve(
+        assumptions=obligation.assumptions,
+        conflict_limit=obligation.conflict_limit,
+    )
+    stats = solver.stats.as_dict()
+    stats["simplify_warm_starts"] = 1
+    model: Optional[bytes] = None
+    if outcome is True:
+        model = pack_model(reconstruct_model(solver.model(), stack))
+    return _verdict_from_outcome(obligation, fingerprint, outcome, model,
+                                 stats, start)
+
+
+def solve_obligation(obligation: ProofObligation,
+                     simp_cache=None) -> Verdict:
     """Solve one obligation on a fresh solver (pure; picklable for
-    worker processes)."""
+    worker processes).
+
+    ``simp_cache`` (a :class:`repro.engine.cache.ResultCache`) enables
+    warm starts: the post-BVE simplified clause database is looked up —
+    and, after a cold solve, stored — under the obligation's own
+    fingerprint, so repeat solves of the same obligation skip the
+    preprocessing pass entirely.
+    """
     start = time.perf_counter()
+    fingerprint = obligation.fingerprint()
+    if simp_cache is not None and obligation.simplify:
+        warm = simp_cache.lookup_simplified(fingerprint)
+        if warm is not None:
+            verdict = _solve_warm(obligation, fingerprint, warm, start)
+            if verdict is not None:
+                return verdict
     solver = SimplifyingSolver() if obligation.simplify else CdclSolver()
     for _ in range(obligation.nvars):
         solver.new_var()
@@ -173,20 +261,12 @@ def solve_obligation(obligation: ProofObligation) -> Verdict:
     if simp is not None:
         for key, value in simp.as_dict().items():
             stats[f"simplify_{key}"] = value
+    if simp_cache is not None and obligation.simplify:
+        exported = solver.export_simplified()
+        if exported is not None:
+            simp_cache.store_simplified(fingerprint, exported)
     model: Optional[bytes] = None
     if outcome is True:
         model = pack_model(solver.model())
-        status = SAT
-    elif outcome is False:
-        status = UNSAT
-    else:
-        status = UNKNOWN
-    return Verdict(
-        status=status,
-        obligation=obligation.name,
-        fingerprint=obligation.fingerprint(),
-        model=model,
-        nvars=obligation.nvars,
-        runtime_s=time.perf_counter() - start,
-        stats=stats,
-    )
+    return _verdict_from_outcome(obligation, fingerprint, outcome, model,
+                                 stats, start)

@@ -32,6 +32,23 @@ JOBS_ENV = "REPRO_ENGINE_JOBS"
 #: Environment knob: default cache directory.
 CACHE_ENV = "REPRO_ENGINE_CACHE"
 
+#: Per-process cache of pool workers, built once by the executor
+#: initializer (pickling the parent's cache per task would ship its
+#: whole index every submit).
+_POOL_CACHE: Optional[ResultCache] = None
+
+
+def _pool_worker_init(root: Optional[str],
+                      max_bytes: Optional[int]) -> None:
+    global _POOL_CACHE
+    _POOL_CACHE = ResultCache(root, max_bytes=max_bytes) if root else None
+
+
+def _pool_solve(obligation: ProofObligation) -> Verdict:
+    """Worker-process solve: warm-starts from (and feeds) the shared
+    cache directory, exactly like the in-process path."""
+    return solve_obligation(obligation, simp_cache=_POOL_CACHE)
+
 
 class _InlineSentinel:
     """Marker for ``engine=INLINE``: force the legacy in-context solver,
@@ -70,9 +87,20 @@ class SolverPool:
         self._executor: Optional[ProcessPoolExecutor] = None
 
     # ------------------------------------------------------------------
-    def _executor_handle(self) -> ProcessPoolExecutor:
+    def _executor_handle(self, cache: Optional[ResultCache] = None) \
+            -> ProcessPoolExecutor:
         if self._executor is None:
-            self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+            # The worker processes open their own handle on the cache
+            # directory (multi-process safe by design), so batch solves
+            # warm-start and store simplified databases just like the
+            # in-process path.  The engine passes one cache for the
+            # pool's lifetime; the first batch pins it.
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_pool_worker_init,
+                initargs=(getattr(cache, "root", None),
+                          getattr(cache, "max_bytes", None)),
+            )
         return self._executor
 
     def close(self) -> None:
@@ -87,25 +115,29 @@ class SolverPool:
         self.close()
 
     # ------------------------------------------------------------------
-    def solve_one(self, obligation: ProofObligation) -> Verdict:
-        return solve_obligation(obligation)
+    def solve_one(self, obligation: ProofObligation,
+                  cache: Optional[ResultCache] = None) -> Verdict:
+        return solve_obligation(obligation, simp_cache=cache)
 
     def solve_ordered(
         self,
         obligations: Sequence[ProofObligation],
         early_stop: Optional[Callable[[Verdict], bool]] = None,
         on_verdict: Optional[Callable[[ProofObligation, Verdict], None]] = None,
+        cache: Optional[ResultCache] = None,
     ) -> List[Optional[Verdict]]:
         """Solve a batch, consuming results in submission order.
 
         Returns one entry per obligation; entries after the first verdict
         for which ``early_stop`` returns True are None (cancelled).
         ``on_verdict`` observes every consumed verdict (cache stores).
+        ``cache`` enables warm-started preprocessing on the in-process
+        path (worker processes use their own caches).
         """
         results: List[Optional[Verdict]] = [None] * len(obligations)
         if self.jobs == 1 or len(obligations) <= 1:
             for i, obligation in enumerate(obligations):
-                verdict = solve_obligation(obligation)
+                verdict = solve_obligation(obligation, simp_cache=cache)
                 results[i] = verdict
                 if on_verdict is not None:
                     on_verdict(obligation, verdict)
@@ -113,8 +145,8 @@ class SolverPool:
                     break
             return results
 
-        executor = self._executor_handle()
-        futures = [executor.submit(solve_obligation, ob)
+        executor = self._executor_handle(cache)
+        futures = [executor.submit(_pool_solve, ob)
                    for ob in obligations]
         stopped = False
         for i, future in enumerate(futures):
@@ -144,12 +176,18 @@ class ProofEngine:
         jobs: Optional[int] = None,
         cache_dir: Optional[str] = None,
         cache: Optional[ResultCache] = None,
+        pool=None,
     ) -> None:
-        if jobs is None:
-            jobs = env_jobs()
+        """``pool`` swaps the scheduler: anything with the
+        :class:`SolverPool` interface, e.g. a
+        :class:`repro.dist.remote.RemotePool` that ships obligations to
+        a broker (``jobs`` is then ignored — parallelism is the
+        fleet's)."""
         if cache is None and cache_dir is None:
             cache_dir = os.environ.get(CACHE_ENV) or None
-        self.pool = SolverPool(jobs)
+        if pool is None:
+            pool = SolverPool(env_jobs() if jobs is None else jobs)
+        self.pool = pool
         self.cache = cache if cache is not None else (
             ResultCache(cache_dir) if cache_dir else None
         )
@@ -190,7 +228,7 @@ class ProofEngine:
                 self.cache_hits += 1
                 return hit
             self.cache_misses += 1
-        verdict = self.pool.solve_one(obligation)
+        verdict = self.pool.solve_one(obligation, cache=self.cache)
         self._account(verdict)
         if self.cache is not None:
             self.cache.store(obligation, verdict)
@@ -235,6 +273,7 @@ class ProofEngine:
                 pending,
                 early_stop=early_stop,
                 on_verdict=on_verdict,
+                cache=self.cache,
             )
             for slot, verdict in zip(misses, solved):
                 results[slot] = verdict

@@ -1,12 +1,18 @@
 """Scenario sweeps: whole Tab.-I/II grids as one batch job.
 
-A sweep cell is (design variant x scenario x window length); each cell
-runs the full Fig.-5 methodology.  Cells are completely independent, so
-the sweep schedules them across worker processes — this is the
+A sweep cell is (design variant x scenario x window length).  Two cell
+types exist: ``methodology`` cells run the full Fig.-5 loop (Tab. I,
+:meth:`ScenarioSweep.table1_grid`), and ``find_first_alert_window``
+cells grow the UPEC window until the first counterexample appears — the
+window-length-for-alert measurements of Tab. II
+(:meth:`ScenarioSweep.table2_grid`).  Cells are completely independent,
+so the sweep schedules them across worker processes — this is the
 coarse-grained sibling of the per-frame obligation parallelism in
 :mod:`repro.engine.pool`, and the two compose with the persistent proof
 cache (workers share one cache directory; re-runs of a grid skip every
-already-proved obligation).
+already-proved obligation).  With ``connect`` set to a broker address
+each cell additionally shards its obligations over the distributed
+proof service (:mod:`repro.dist`).
 
 Workers rebuild the SoC from the variant name, so only plain data
 crosses the process boundary (no circuit pickling).
@@ -22,20 +28,34 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.soc.config import VARIANTS
 
 
+#: Cell types: the full Fig.-5 methodology loop (Tab. I) or the
+#: grow-the-window-until-alert measurement (Tab. II).
+CELL_METHODOLOGY = "methodology"
+CELL_ALERT_WINDOW = "find_first_alert_window"
+
+
 @dataclass
 class SweepCell:
-    """One (variant, scenario, k) grid point."""
+    """One (variant, scenario, k) grid point.
+
+    For ``find_first_alert_window`` cells ``k`` is the *maximum* window
+    length: the check walks frames 1..k and reports the first alerting
+    frame (or proves the whole window)."""
 
     variant: str
     scenario_kwargs: Dict[str, Any]
     k: int
     label: str = ""
+    cell_type: str = CELL_METHODOLOGY
 
     def __post_init__(self) -> None:
         if not self.label:
             cached = self.scenario_kwargs.get("secret_in_cache", True)
-            self.label = (f"{self.variant}/"
-                          f"{'cached' if cached else 'uncached'}/k={self.k}")
+            scen = "cached" if cached else "uncached"
+            if self.cell_type == CELL_ALERT_WINDOW:
+                self.label = f"{self.variant}/{scen}/window<={self.k}"
+            else:
+                self.label = f"{self.variant}/{scen}/k={self.k}"
 
 
 @dataclass
@@ -56,6 +76,7 @@ class SweepOutcome:
             "variant": self.cell.variant,
             "scenario": dict(self.cell.scenario_kwargs),
             "k": self.cell.k,
+            "cell_type": self.cell.cell_type,
             "runtime_s": self.runtime_s,
             "result": self.result,
         }
@@ -83,29 +104,45 @@ class SweepResult:
         }
 
     def rows(self) -> List[List[Any]]:
-        """Rows for a Tab.-I style report table."""
+        """Rows for a Tab.-I/II style report table.
+
+        Methodology cells report iteration/P-alert counts; alert-window
+        cells have neither and show the first alerting frame instead."""
         rows = []
         for out in self.outcomes:
             result = out.result
-            rows.append([
-                out.cell.label,
-                result["verdict"],
-                result["iterations"],
-                len(result["p_alerts"]),
-                f"{out.runtime_s:.2f}s",
-            ])
+            if out.cell.cell_type == CELL_ALERT_WINDOW:
+                frame = result.get("alert_frame")
+                detail = f"frame {frame}" if frame is not None \
+                    else f"none<={out.cell.k}"
+                rows.append([
+                    out.cell.label,
+                    result["verdict"],
+                    detail,
+                    1 if result.get("alert") else 0,
+                    f"{out.runtime_s:.2f}s",
+                ])
+            else:
+                rows.append([
+                    out.cell.label,
+                    result["verdict"],
+                    result["iterations"],
+                    len(result["p_alerts"]),
+                    f"{out.runtime_s:.2f}s",
+                ])
         return rows
 
 
 def _run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Worker body: rebuild the SoC, run the methodology, return dicts.
+    """Worker body: rebuild the SoC, run the cell, return dicts.
 
     Imports stay inside the function so the engine package has no
     import-time dependency on :mod:`repro.core` (which itself imports the
     engine's obligation layer).
     """
     from repro.core.methodology import UpecMethodology
-    from repro.core.model import UpecScenario
+    from repro.core.model import UpecModel, UpecScenario
+    from repro.core.upec import UpecChecker
     from repro.engine.pool import INLINE, ProofEngine
     from repro.soc import SocConfig, build_soc
     from repro.soc.config import FORMAL_CONFIG_KWARGS
@@ -114,27 +151,56 @@ def _run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
     config = getattr(SocConfig, payload["variant"])(**FORMAL_CONFIG_KWARGS)
     soc = build_soc(config)
     scenario = UpecScenario(**payload["scenario"])
-    # With a cache directory the cell takes the obligation path (jobs=1,
-    # in-process) so verdicts persist; otherwise the incremental
-    # in-context solver is used.  Never the environment defaults: pools
-    # must not nest inside sweep workers.
-    engine = ProofEngine(jobs=1, cache_dir=payload["cache_dir"]) \
-        if payload["cache_dir"] else INLINE
-    methodology = UpecMethodology(
-        soc, scenario,
-        conflict_limit=payload["conflict_limit"],
-        simplify=payload["simplify"],
-        engine=engine,
-        slice=payload.get("slice"),
-    )
+    # With a broker address the cell shards its obligations over the
+    # distributed proof service; with a cache directory it takes the
+    # local obligation path (jobs=1, in-process) so verdicts persist;
+    # otherwise the incremental in-context solver is used.  Never the
+    # environment defaults: pools must not nest inside sweep workers.
+    if payload.get("connect"):
+        from repro.dist.remote import RemoteEngine
+
+        engine = RemoteEngine(payload["connect"],
+                              cache_dir=payload["cache_dir"])
+    elif payload["cache_dir"]:
+        engine = ProofEngine(jobs=1, cache_dir=payload["cache_dir"])
+    else:
+        engine = INLINE
     try:
-        result = methodology.run(k=payload["k"],
-                                 max_iterations=payload["max_iterations"])
+        if payload.get("cell_type") == CELL_ALERT_WINDOW:
+            model = UpecModel(soc, scenario, simplify=payload["simplify"])
+            checker = UpecChecker(model, engine=engine,
+                                  slice=payload.get("slice"))
+            check = checker.find_first_alert_window(
+                max_k=payload["k"],
+                conflict_limit=payload["conflict_limit"],
+            )
+            alerted = check.status == "alert"
+            result = {
+                "verdict": check.status,
+                "k": check.k,
+                "alert_frame": check.k if alerted else None,
+                "alert": check.alert.to_dict() if check.alert is not None
+                else None,
+                "checked_frames": check.checked_frames,
+                "stats": dict(check.stats),
+            }
+        else:
+            methodology = UpecMethodology(
+                soc, scenario,
+                conflict_limit=payload["conflict_limit"],
+                simplify=payload["simplify"],
+                engine=engine,
+                slice=payload.get("slice"),
+            )
+            result = methodology.run(
+                k=payload["k"],
+                max_iterations=payload["max_iterations"],
+            ).to_dict()
     finally:
         if engine is not INLINE:
             engine.close()
     return {
-        "result": result.to_dict(),
+        "result": result,
         "runtime_s": time.perf_counter() - start,
     }
 
@@ -150,6 +216,7 @@ class ScenarioSweep:
         cache_dir: Optional[str] = None,
         max_iterations: int = 64,
         slice: Optional[bool] = None,
+        connect: Optional[str] = None,
     ) -> None:
         self.cells = list(cells)
         self.simplify = simplify
@@ -157,6 +224,7 @@ class ScenarioSweep:
         self.cache_dir = cache_dir
         self.max_iterations = max_iterations
         self.slice = slice
+        self.connect = connect
 
     # ------------------------------------------------------------------
     @classmethod
@@ -187,17 +255,50 @@ class ScenarioSweep:
                 ))
         return cls(cells, **kwargs)
 
+    @classmethod
+    def table2_grid(
+        cls,
+        variants: Sequence[str] = VARIANTS,
+        max_k: int = 4,
+        cached: bool = True,
+        uncached: bool = False,
+        **kwargs,
+    ) -> "ScenarioSweep":
+        """The Tab.-II grid: for every variant, grow the UPEC window up
+        to ``max_k`` frames and report the window length at which the
+        first alert appears (vulnerable designs) or that the whole
+        window proves (fixed designs)."""
+        from repro.core.model import UpecScenario
+
+        cells = []
+        for variant in variants:
+            scenarios = []
+            if cached:
+                scenarios.append(UpecScenario(secret_in_cache=True))
+            if uncached:
+                scenarios.append(UpecScenario(secret_in_cache=False))
+            for scenario in scenarios:
+                cells.append(SweepCell(
+                    variant=variant,
+                    scenario_kwargs=asdict(scenario),
+                    k=max_k,
+                    cell_type=CELL_ALERT_WINDOW,
+                ))
+        return cls(cells, **kwargs)
+
     # ------------------------------------------------------------------
     def _payload(self, cell: SweepCell) -> Dict[str, Any]:
         return {
             "variant": cell.variant,
             "scenario": dict(cell.scenario_kwargs),
             "k": cell.k,
+            "cell_type": cell.cell_type,
             "simplify": self.simplify,
             "conflict_limit": self.conflict_limit,
             "cache_dir": self.cache_dir,
             "max_iterations": self.max_iterations,
             "slice": self.slice,
+            "connect": self.connect,
         }
 
     def run(self, jobs: int = 1) -> SweepResult:

@@ -31,3 +31,13 @@ class IsaError(ReproError):
 
 class UpecError(ReproError):
     """Raised by the UPEC core for inconsistent model configuration."""
+
+
+class DistError(ReproError):
+    """Raised by the distributed proof service (broker, worker, remote
+    pool) for protocol violations, lost connections and failed jobs."""
+
+
+class UsageError(ReproError):
+    """Raised for invalid command-line usage (bad flag combinations or
+    out-of-range values); the CLI reports it and exits with code 64."""

@@ -696,6 +696,30 @@ class SimplifyingSolver:
         return outcome
 
     # ------------------------------------------------------------------
+    # Warm-start export
+    # ------------------------------------------------------------------
+    def export_simplified(self):
+        """Snapshot the post-simplification clause database for reuse.
+
+        Returns ``{"nvars", "clauses", "stack"}`` — the simplified
+        clauses (units included) plus the active model-reconstruction
+        entries — or None when there is nothing sound to export (the
+        formula was never rebuilt, turned inconsistent, or has pending
+        clauses the snapshot would miss).  A fresh
+        :class:`~repro.formal.solver.CdclSolver` loaded with the
+        snapshot searches exactly as this solver's inner search does,
+        so warm-started verdicts are bit-identical to cold ones.
+        """
+        if not self._ok or not self._did_initial or self._pending:
+            return None
+        return {
+            "nvars": self.nvars,
+            "clauses": [list(clause) for clause in self._db],
+            "stack": [[entry[0], list(entry[1])]
+                      for entry in self._stack if entry[2]],
+        }
+
+    # ------------------------------------------------------------------
     # Model access
     # ------------------------------------------------------------------
     def model_value(self, lit: int) -> bool:

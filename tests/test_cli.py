@@ -120,3 +120,107 @@ def test_attack_stats_flag(capsys):
     assert rc == 0  # the secure design leaks nothing
     assert "probes" in out
     assert "no leak" in out
+
+
+# ----------------------------------------------------------------------
+# Usage-error fail-fast (--jobs) and distributed flags
+# ----------------------------------------------------------------------
+def test_sweep_jobs_zero_fails_fast(capsys):
+    rc = main(["sweep", "--variants", "secure", "--k", "1", "--jobs", "0"])
+    assert rc == 64
+    err = capsys.readouterr().err
+    assert "usage error" in err and "--jobs" in err
+
+
+def test_sweep_jobs_negative_fails_fast(capsys):
+    rc = main(["sweep", "--variants", "secure", "--k", "1", "--jobs", "-3"])
+    assert rc == 64
+    assert "--jobs" in capsys.readouterr().err
+
+
+def test_check_and_methodology_reject_nonpositive_jobs(capsys):
+    assert main(["check", "secure", "--jobs", "0"]) == 64
+    assert main(["methodology", "secure", "--jobs", "-1"]) == 64
+
+
+def test_connect_rejects_malformed_address(capsys):
+    rc = main(["check", "secure", "--connect", "not-an-address"])
+    assert rc == 64
+    assert "HOST:PORT" in capsys.readouterr().err
+
+
+def test_connect_conflicts_with_jobs(capsys):
+    rc = main(["methodology", "secure", "--connect", "h:1", "--jobs", "2"])
+    assert rc == 64
+    assert "--connect" in capsys.readouterr().err
+
+
+def test_connect_unreachable_broker_exits_69(capsys):
+    rc = main(["check", "secure", "--k", "1",
+               "--connect", "127.0.0.1:1"])
+    assert rc == 69
+    assert "cannot reach broker" in capsys.readouterr().err
+
+
+def test_serve_and_worker_parsers():
+    parser = build_parser()
+    args = parser.parse_args(["serve", "--port", "0",
+                              "--heartbeat-timeout", "2.5"])
+    assert args.port == 0 and args.heartbeat_timeout == 2.5
+    args = parser.parse_args(["worker", "--connect", "h:1",
+                              "--cache-dir", "/tmp/c", "--name", "w9"])
+    assert args.connect == "h:1" and args.name == "w9"
+    with pytest.raises(SystemExit):
+        parser.parse_args(["worker"])  # --connect is required
+
+
+def test_connect_flag_uniform_across_sat_commands():
+    parser = build_parser()
+    for argv in (
+        ["check", "secure", "--connect", "h:1"],
+        ["methodology", "secure", "--connect", "h:1"],
+        ["sweep", "--connect", "h:1"],
+    ):
+        assert parser.parse_args(argv).connect == "h:1"
+
+
+def test_explicit_jobs_overrides_env_connect(monkeypatch):
+    """REPRO_ENGINE_CONNECT is a default, not a mandate: an explicit
+    --jobs routes back to the local pool instead of erroring (or
+    touching the unreachable broker address)."""
+    monkeypatch.setenv("REPRO_ENGINE_CONNECT", "127.0.0.1:1")
+    rc = main(["check", "secure", "--uncached", "--k", "1", "--jobs", "1"])
+    assert rc == 0  # solved locally; the dead broker was never dialed
+
+
+def test_explicit_connect_with_jobs_still_errors(monkeypatch, capsys):
+    monkeypatch.delenv("REPRO_ENGINE_CONNECT", raising=False)
+    rc = main(["check", "secure", "--connect", "h:1", "--jobs", "2"])
+    assert rc == 64
+    assert "--connect" in capsys.readouterr().err
+
+
+def test_serve_port_in_use_exits_69(capsys):
+    import socket
+
+    blocker = socket.socket()
+    blocker.bind(("127.0.0.1", 0))
+    port = blocker.getsockname()[1]
+    try:
+        rc = main(["serve", "--port", str(port)])
+    finally:
+        blocker.close()
+    assert rc == 69
+    assert "cannot listen" in capsys.readouterr().err
+
+
+def test_connect_port_out_of_range_is_usage_error(capsys):
+    rc = main(["check", "secure", "--connect", "127.0.0.1:99999"])
+    assert rc == 64
+    assert "port out of range" in capsys.readouterr().err
+
+
+def test_serve_rejects_flappy_heartbeat_timeout(capsys):
+    rc = main(["serve", "--port", "0", "--heartbeat-timeout", "0.5"])
+    assert rc == 64
+    assert "heartbeat" in capsys.readouterr().err

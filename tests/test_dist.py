@@ -1,0 +1,546 @@
+"""Distributed proof-service tests: protocol, fault injection, and the
+distributed-equals-sequential acceptance differentials.
+
+Workers run as forked subprocesses (so they can be SIGKILLed
+mid-obligation); the broker runs in-process on an ephemeral port.  The
+oracle throughout is the sequential ``jobs=1`` engine path: a
+distributed run must produce bit-identical verdict/alert signatures, no
+matter how many workers serve it or how many of them die mid-run.
+"""
+
+import json
+import multiprocessing
+import os
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core import UpecMethodology, UpecScenario
+from repro.dist import (
+    Broker,
+    Connection,
+    PROTO_VERSION,
+    RemoteEngine,
+    RemotePool,
+    obligation_from_wire,
+    obligation_to_wire,
+    parse_address,
+)
+from repro.dist.protocol import dial
+from repro.engine import ProofEngine
+from repro.engine.obligation import ProofObligation, solve_obligation
+from repro.errors import DistError
+from repro.soc import SocConfig, build_soc
+from repro.soc.config import FORMAL_CONFIG_KWARGS
+
+_MP = multiprocessing.get_context("fork")
+
+VARIANTS = ("secure", "orc", "meltdown", "pmp_bug")
+SCENARIO = UpecScenario(secret_in_cache=True)
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+def _worker_main(address, cache_dir=None, solve_delay=0.0):
+    """Subprocess body: optionally slow every solve down so a test can
+    reliably catch (and kill) a worker mid-obligation."""
+    import repro.dist.worker as worker_mod
+
+    if solve_delay:
+        pure = solve_obligation
+
+        def delayed(obligation, simp_cache=None):
+            time.sleep(solve_delay)
+            return pure(obligation, simp_cache=simp_cache)
+
+        worker_mod.solve_obligation = delayed
+    worker_mod.run_worker(address, cache_dir=cache_dir,
+                          poll_interval=0.01, max_retries=3)
+
+
+def _spawn_worker(address, cache_dir=None, solve_delay=0.0):
+    process = _MP.Process(
+        target=_worker_main,
+        args=(address,),
+        kwargs={"cache_dir": cache_dir, "solve_delay": solve_delay},
+        daemon=True,
+    )
+    process.start()
+    return process
+
+
+@pytest.fixture
+def broker():
+    instance = Broker(port=0, heartbeat_timeout=10.0).start()
+    procs = []
+    instance.spawn = lambda **kw: procs.append(
+        _spawn_worker(instance.address, **kw)) or procs[-1]
+    try:
+        yield instance
+    finally:
+        for process in procs:
+            if process.is_alive():
+                process.terminate()
+        for process in procs:
+            process.join(timeout=5)
+        instance.stop()
+
+
+def _wait_for(predicate, timeout=30.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def _toy_obligations(count=4):
+    """Small satisfiable/unsatisfiable queries with distinct contents."""
+    obligations = []
+    for i in range(count):
+        # (x1|x2) & (~x1|x3) & (~x2|~x3) with alternating assumptions;
+        # the extra unit clause makes every obligation's content unique.
+        obligations.append(ProofObligation(
+            name=f"toy{i}",
+            nvars=4 + i,
+            clauses=[[1, 2], [-1, 3], [-2, -3], [4 + i]],
+            assumptions=[1] if i % 2 else [-1],
+        ))
+    return obligations
+
+
+def _methodology_signature(result):
+    return (
+        result.verdict,
+        result.k,
+        result.iterations,
+        list(result.removed_regs),
+        [alert.to_dict() for alert in result.p_alerts],
+        result.l_alert.to_dict() if result.l_alert is not None else None,
+    )
+
+
+def _run_methodology(variant, engine, k=2):
+    soc = build_soc(getattr(SocConfig, variant)(**FORMAL_CONFIG_KWARGS))
+    return UpecMethodology(soc, SCENARIO, engine=engine).run(k=k)
+
+
+# ----------------------------------------------------------------------
+# Protocol
+# ----------------------------------------------------------------------
+def test_obligation_wire_roundtrip_preserves_fingerprint():
+    obligation = ProofObligation(
+        name="wire", nvars=5, clauses=[[1, -2], [3, 4, 5]],
+        assumptions=[2], frozen=[1, 3], simplify=True,
+        conflict_limit=123, meta={"kind": "test", "frame": 2},
+        remap=[0, 7, 8, 9, 10, 11], orig_nvars=11,
+    )
+    wire = json.loads(json.dumps(obligation_to_wire(obligation)))
+    back = obligation_from_wire(wire)
+    assert back.fingerprint() == obligation.fingerprint()
+    assert back.meta == obligation.meta
+    assert back.conflict_limit == 123
+    # Slice bookkeeping stays client-side.
+    assert back.remap is None and back.orig_nvars == 0
+
+
+def test_parse_address():
+    assert parse_address("10.0.0.1:7769") == ("10.0.0.1", 7769)
+    for bad in ("nohost", "host:port", ":123", "x:", "h:0", "h:99999",
+                "h:-1"):
+        with pytest.raises(DistError):
+            parse_address(bad)
+
+
+def test_handshake_rejects_version_mismatch(broker):
+    sock = socket.create_connection(("127.0.0.1", broker.port), timeout=5)
+    conn = Connection(sock)
+    conn.send({"type": "hello", "proto": PROTO_VERSION + 999,
+               "role": "worker", "codecs": ["json"]})
+    reply = conn.recv()
+    assert reply["type"] == "error"
+    assert "version mismatch" in reply["reason"]
+    # The broker hangs up and never registers the peer.
+    assert conn.recv() is None
+    assert broker.snapshot()["workers"] == []
+    conn.close()
+
+
+def test_handshake_rejects_unknown_role(broker):
+    sock = socket.create_connection(("127.0.0.1", broker.port), timeout=5)
+    conn = Connection(sock)
+    conn.send({"type": "hello", "proto": PROTO_VERSION,
+               "role": "observer", "codecs": ["json"]})
+    reply = conn.recv()
+    assert reply["type"] == "error"
+    assert "role" in reply["reason"]
+    conn.close()
+
+
+def test_dial_reports_unreachable_broker():
+    with pytest.raises(DistError, match="cannot reach broker"):
+        dial(("127.0.0.1", 1), role="client", timeout=0.5)
+
+
+# ----------------------------------------------------------------------
+# Remote solving
+# ----------------------------------------------------------------------
+def test_remote_batch_matches_local_bit_for_bit(broker):
+    broker.spawn()
+    obligations = _toy_obligations(6)
+    local = [solve_obligation(ob) for ob in obligations]
+    engine = RemoteEngine(broker.address)
+    try:
+        remote = engine.solve_ordered(obligations)
+    finally:
+        engine.close()
+    for mine, theirs in zip(local, remote):
+        assert theirs is not None
+        assert mine.status == theirs.status
+        assert mine.model == theirs.model
+        assert mine.fingerprint == theirs.fingerprint
+
+
+def test_remote_early_cancel_stops_consumption(broker):
+    broker.spawn()
+    obligations = _toy_obligations(5)
+    observed = []
+    pool = RemotePool(broker.address)
+    try:
+        results = pool.solve_ordered(
+            obligations,
+            early_stop=lambda verdict: verdict.sat,
+            on_verdict=lambda ob, v: observed.append(ob.name),
+        )
+    finally:
+        pool.close()
+    # toy0 is SAT, so order semantics cut everything after index 0.
+    assert results[0] is not None and results[0].sat
+    assert all(entry is None for entry in results[1:])
+    assert observed[0] == "toy0"
+    # The cancelled batch's queued jobs drain without dispatch.
+    assert _wait_for(lambda: broker.snapshot()["queued"] == 0)
+
+
+def test_remote_pool_advertises_parallel_jobs(broker):
+    pool = RemotePool(broker.address)
+    try:
+        # Never 1: the checker layers take jobs==1 to mean in-process
+        # lazy export, which would serialize a remote run.
+        assert pool.jobs >= 2
+    finally:
+        pool.close()
+
+
+def test_broker_memoizes_resubmitted_fingerprints(broker):
+    broker.spawn()
+    obligations = _toy_obligations(3)
+    engine = RemoteEngine(broker.address)
+    try:
+        first = engine.solve_ordered(obligations)
+        workers_solved = sum(w["solved"]
+                             for w in broker.snapshot()["workers"])
+        second = engine.solve_ordered(obligations)
+        again = sum(w["solved"] for w in broker.snapshot()["workers"])
+    finally:
+        engine.close()
+    assert workers_solved == 3
+    assert again == workers_solved  # answered from the broker memo
+    for a, b in zip(first, second):
+        assert a.status == b.status and a.model == b.model
+
+
+def test_gossip_reaches_late_joining_worker(broker, tmp_path):
+    cache_a = str(tmp_path / "a")
+    cache_b = str(tmp_path / "b")
+    broker.spawn(cache_dir=cache_a)
+    obligations = _toy_obligations(3)
+    engine = RemoteEngine(broker.address)
+    try:
+        engine.solve_ordered(obligations)
+    finally:
+        engine.close()
+    fingerprints = {ob.fingerprint() for ob in obligations}
+    # A worker that joins after the fact receives the whole verdict
+    # backlog piggybacked on its pulls and writes it through.
+    broker.spawn(cache_dir=cache_b)
+    assert _wait_for(lambda: os.path.isdir(cache_b) and fingerprints <= {
+        name[:-len(".json")] for name in os.listdir(cache_b)
+        if name.endswith(".json")
+    }), "gossiped verdicts never reached the second worker's cache"
+
+
+# ----------------------------------------------------------------------
+# Fault injection
+# ----------------------------------------------------------------------
+def test_killed_worker_requeues_to_survivor(broker):
+    # Worker A will sit on the first obligation "forever"; killing it
+    # must requeue the in-flight job, which worker B then solves —
+    # final verdicts identical to a local run.
+    slow = broker.spawn(solve_delay=60.0)
+    obligations = _toy_obligations(2)
+    local = [solve_obligation(ob) for ob in obligations]
+    engine = RemoteEngine(broker.address)
+    outcome = {}
+
+    def run():
+        try:
+            outcome["results"] = engine.solve_ordered(obligations)
+        except Exception as exc:  # surfaced in the main thread
+            outcome["error"] = exc
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    try:
+        assert _wait_for(lambda: any(
+            w["inflight"] for w in broker.snapshot()["workers"]
+        )), "worker never picked up the obligation"
+        slow.kill()
+        broker.spawn()  # the survivor
+        thread.join(timeout=30)
+        assert not thread.is_alive(), "batch never completed after requeue"
+    finally:
+        engine.close()
+    assert "error" not in outcome, outcome.get("error")
+    for mine, theirs in zip(local, outcome["results"]):
+        assert mine.status == theirs.status
+        assert mine.model == theirs.model
+
+
+def test_stale_heartbeat_evicts_and_requeues(tmp_path):
+    # A zombie worker grabs a job and then goes silent without closing
+    # its socket: only the heartbeat sweeper can reclaim the work.
+    broker = Broker(port=0, heartbeat_timeout=0.6).start()
+    worker = None
+    zombie = None
+    client = None
+    try:
+        zombie, welcome = dial(("127.0.0.1", broker.port), role="worker",
+                               name="zombie")
+        assert welcome["type"] == "welcome"
+        client = RemotePool(broker.address)
+        obligations = _toy_obligations(1)
+        outcome = {}
+
+        def run():
+            outcome["results"] = client.solve_ordered(obligations)
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        # The zombie pulls until the job lands, then never speaks again.
+        deadline = time.monotonic() + 10
+        got_job = False
+        while time.monotonic() < deadline and not got_job:
+            zombie.send({"type": "pull"})
+            reply = zombie.recv()
+            got_job = reply is not None and reply["type"] == "job"
+            if not got_job:
+                time.sleep(0.02)
+        assert got_job, "zombie never received the job"
+        # Eviction: the sweeper notices the silence, drops the zombie
+        # and requeues; a healthy worker then finishes the batch.
+        assert _wait_for(
+            lambda: not any(w["name"] == "zombie"
+                            for w in broker.snapshot()["workers"]),
+            timeout=10,
+        ), "stale worker was never evicted"
+        worker = _spawn_worker(broker.address)
+        thread.join(timeout=30)
+        assert not thread.is_alive(), "job lost with the zombie"
+        verdict = outcome["results"][0]
+        assert verdict.status == solve_obligation(obligations[0]).status
+    finally:
+        if client is not None:
+            client.close()
+        if zombie is not None:
+            zombie.close()
+        if worker is not None and worker.is_alive():
+            worker.terminate()
+            worker.join(timeout=5)
+        broker.stop()
+
+
+def test_job_fails_loudly_after_exhausting_workers():
+    # Every worker that touches the job dies: after max_attempts the
+    # broker reports failure instead of spinning forever.
+    broker = Broker(port=0, heartbeat_timeout=10.0, max_attempts=2).start()
+    procs = []
+    client = None
+    try:
+        client = RemotePool(broker.address)
+        obligations = _toy_obligations(1)
+        outcome = {}
+
+        def run():
+            try:
+                outcome["results"] = client.solve_ordered(obligations)
+            except DistError as exc:
+                outcome["error"] = exc
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        for _ in range(2):
+            victim = _spawn_worker(broker.address, solve_delay=60.0)
+            procs.append(victim)
+            assert _wait_for(lambda: any(
+                w["inflight"] for w in broker.snapshot()["workers"]
+            ), timeout=60)
+            victim.kill()
+            victim.join(timeout=5)
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert "error" in outcome
+        assert "gave up" in str(outcome["error"])
+    finally:
+        if client is not None:
+            client.close()
+        for process in procs:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5)
+        broker.stop()
+
+
+# ----------------------------------------------------------------------
+# Acceptance: distributed methodology == sequential, on all variants,
+# including across a mid-run worker kill
+# ----------------------------------------------------------------------
+def test_methodology_distributed_matches_sequential_all_variants(broker):
+    broker.spawn()
+    broker.spawn()
+    for variant in VARIANTS:
+        sequential = _run_methodology(variant, engine=ProofEngine(jobs=1))
+        engine = RemoteEngine(broker.address)
+        try:
+            distributed = _run_methodology(variant, engine=engine)
+        finally:
+            engine.close()
+        assert _methodology_signature(sequential) == \
+            _methodology_signature(distributed), variant
+
+
+def test_methodology_survives_worker_kill_mid_run(broker):
+    victim = broker.spawn(solve_delay=0.05)
+    broker.spawn(solve_delay=0.05)
+    sequential = _run_methodology("orc", engine=ProofEngine(jobs=1))
+    engine = RemoteEngine(broker.address)
+    outcome = {}
+
+    def run():
+        try:
+            outcome["result"] = _run_methodology("orc", engine=engine)
+        except Exception as exc:
+            outcome["error"] = exc
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    try:
+        # Let the run make some progress, then kill one worker cold.
+        assert _wait_for(lambda: broker.snapshot()["memo"] >= 1,
+                         timeout=60), "distributed run never progressed"
+        victim.kill()
+        thread.join(timeout=300)
+        assert not thread.is_alive(), "methodology hung after worker kill"
+    finally:
+        engine.close()
+    assert "error" not in outcome, outcome.get("error")
+    assert _methodology_signature(sequential) == \
+        _methodology_signature(outcome["result"])
+
+
+# ----------------------------------------------------------------------
+# Gossip backlog management
+# ----------------------------------------------------------------------
+def test_gossip_backlog_pages_and_trims():
+    from repro.dist import broker as broker_mod
+
+    instance = Broker(port=0)
+    # Simulate a long-lived broker: more backlog than the retention cap.
+    total = broker_mod._GOSSIP_KEEP + 100
+    for i in range(total):
+        instance._gossip.append((f"fp{i}", {"status": "unsat"}))
+        overflow = len(instance._gossip) - broker_mod._GOSSIP_KEEP
+        if overflow > 0:
+            del instance._gossip[:overflow]
+            instance._gossip_base += overflow
+    assert len(instance._gossip) == broker_mod._GOSSIP_KEEP
+    assert instance._gossip_base == 100
+    worker = broker_mod._Worker("w", "w", conn=None)
+    # A fresh worker pages through the retained backlog, one bounded
+    # chunk per pull, never one giant frame.
+    seen = []
+    while True:
+        page = instance._gossip_page(worker)
+        if not page:
+            break
+        assert len(page) <= broker_mod._GOSSIP_PAGE
+        seen.extend(entry["fingerprint"] for entry in page)
+    assert seen[0] == "fp100"          # trimmed entries are gone
+    assert seen[-1] == f"fp{total - 1}"
+    assert len(seen) == broker_mod._GOSSIP_KEEP
+    # A worker whose position predates the trim resumes at the base.
+    stale = broker_mod._Worker("s", "s", conn=None)
+    stale.gossip_pos = 3
+    first = instance._gossip_page(stale)
+    assert first[0]["fingerprint"] == "fp100"
+
+
+def test_dispatch_refuses_work_for_evicted_worker():
+    """A pull racing the heartbeat sweep must not strand the job on an
+    unregistered worker's inflight set (which nothing would requeue)."""
+    from repro.dist import broker as broker_mod
+
+    instance = Broker(port=0)
+    ghost = broker_mod._Worker("worker-ghost", "ghost", conn=None)
+    batch = broker_mod._Batch("b1", conn=None)
+    job = broker_mod._Job("b1", 0, {"name": "j"}, "fp")
+    batch.jobs[0] = job
+    instance._batches["b1"] = batch
+    instance._queue.append(job)
+    # ghost was never (or is no longer) in instance._workers: evicted.
+    reply = instance._dispatch(ghost)
+    assert reply["type"] == "idle"
+    assert not ghost.inflight
+    assert list(instance._queue) == [job]  # still dispatchable
+    # Once registered, the same pull hands the job out normally.
+    instance._workers["worker-ghost"] = ghost
+    reply = instance._dispatch(ghost)
+    assert reply["type"] == "job" and reply["seq"] == 0
+    assert (("b1", 0) in ghost.inflight)
+
+
+def test_dial_times_out_on_silent_peer():
+    """A peer that accepts TCP but never answers the handshake must
+    fail within the dial timeout, not hang."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    port = listener.getsockname()[1]
+    try:
+        start = time.monotonic()
+        with pytest.raises(DistError, match="handshake"):
+            dial(("127.0.0.1", port), role="client", timeout=0.3)
+        assert time.monotonic() - start < 5.0
+    finally:
+        listener.close()
+
+
+def test_silent_prehandshake_connection_is_reaped():
+    """A peer that connects and never says hello must not pin a broker
+    thread/fd forever — the handshake deadline closes it."""
+    instance = Broker(port=0, handshake_timeout=0.3).start()
+    try:
+        sock = socket.create_connection(("127.0.0.1", instance.port),
+                                        timeout=5)
+        sock.settimeout(5)
+        start = time.monotonic()
+        # The broker hangs up without a word once the deadline passes.
+        assert sock.recv(1) == b""
+        assert time.monotonic() - start < 4.0
+        sock.close()
+    finally:
+        instance.stop()

@@ -425,3 +425,167 @@ def test_default_engine_env(monkeypatch):
         engine.close()
         monkeypatch.setattr(pool_mod, "_shared_engine", None)
         monkeypatch.setattr(pool_mod, "_shared_key", None)
+
+
+# ----------------------------------------------------------------------
+# Index flush on destruction / context exit (worker-death regression)
+# ----------------------------------------------------------------------
+def _index_entries(tmp_path):
+    import json
+    import os
+
+    path = os.path.join(str(tmp_path), "_index.json")
+    if not os.path.exists(path):
+        return {}
+    with open(path) as handle:
+        return json.load(handle)["entries"]
+
+
+def test_cache_del_flushes_batched_index(tmp_path):
+    """A cache dropped without ProofEngine.close (a worker dying
+    mid-sweep) must still persist its batched index updates."""
+    import gc
+
+    cache = ResultCache(str(tmp_path))
+    ob = _obligation([[1, 2], [-1, 2]], name="flush")
+    cache.store(ob, solve_obligation(ob))
+    assert _index_entries(tmp_path) == {}  # batched, not yet saved
+    del cache
+    gc.collect()
+    entries = _index_entries(tmp_path)
+    assert len(entries) == 1 and next(iter(entries.values()))["tick"] == 1
+
+
+def test_cache_context_exit_flushes_index(tmp_path):
+    ob = _obligation([[1, 2], [-1, 2]], name="ctx")
+    with ResultCache(str(tmp_path)) as cache:
+        cache.store(ob, solve_obligation(ob))
+        assert _index_entries(tmp_path) == {}
+    assert len(_index_entries(tmp_path)) == 1
+
+
+# ----------------------------------------------------------------------
+# Warm-start: cached post-BVE simplified clause databases
+# ----------------------------------------------------------------------
+def _bve_friendly_obligation(name="warm", conflict_limit=None):
+    """A Tseitin-style chain (every intermediate functionally defined)
+    so simplification actually eliminates variables."""
+    clauses = []
+    prev = 1
+    for v in range(2, 8):
+        # v <-> not prev (buffer chain BVE collapses)
+        clauses.extend([[-v, -prev], [v, prev]])
+        prev = v
+    clauses.append([prev, 1])
+    return _obligation(clauses, assumptions=[1], name=name, simplify=True,
+                       conflict_limit=conflict_limit)
+
+
+def test_warm_start_roundtrip_is_bit_identical(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    ob = _bve_friendly_obligation()
+    cold = solve_obligation(ob, simp_cache=cache)
+    assert cache.lookup_simplified(ob.fingerprint()) is not None
+    warm = solve_obligation(ob, simp_cache=cache)
+    assert warm.status == cold.status
+    assert warm.model == cold.model
+    assert warm.stats.get("simplify_warm_starts") == 1
+    # The warm path never ran the simplifier.
+    assert "simplify_simplifications" not in warm.stats
+
+
+def test_warm_start_survives_json_roundtrip_and_reopen(tmp_path):
+    ob = _bve_friendly_obligation()
+    with ResultCache(str(tmp_path)) as cache:
+        cold = solve_obligation(ob, simp_cache=cache)
+    with ResultCache(str(tmp_path)) as reopened:
+        warm = solve_obligation(ob, simp_cache=reopened)
+    assert (warm.status, warm.model) == (cold.status, cold.model)
+    assert warm.stats.get("simplify_warm_starts") == 1
+
+
+def test_warm_entries_share_lru_eviction(tmp_path):
+    cache = ResultCache(str(tmp_path), max_bytes=1)
+    ob = _bve_friendly_obligation()
+    solve_obligation(ob, simp_cache=cache)
+    cache.store(ob, solve_obligation(ob))
+    # Everything over the 1-byte cap is pruned, .simp entries included.
+    assert cache.lookup_simplified(ob.fingerprint()) is None
+    assert cache.lookup(ob) is None
+
+
+def test_engine_solve_populates_warm_entries(tmp_path):
+    with ProofEngine(jobs=1, cache_dir=str(tmp_path)) as engine:
+        ob = _bve_friendly_obligation()
+        engine.solve(ob)
+        assert engine.cache.lookup_simplified(ob.fingerprint()) is not None
+
+
+def test_warm_start_serves_unknown_retry_with_higher_limit(tmp_path):
+    """The scenario warm-start exists for: a conflict-limited run left
+    'unknown' (never cached as a verdict), the retry with a bigger
+    budget skips straight past preprocessing."""
+    cache = ResultCache(str(tmp_path))
+    limited = _bve_friendly_obligation(conflict_limit=1)
+    first = solve_obligation(limited, simp_cache=cache)
+    # The toy formula may solve within one conflict; force the point by
+    # checking the simp entry exists regardless of the verdict.
+    assert cache.lookup_simplified(limited.fingerprint()) is not None
+    retry = _bve_friendly_obligation(conflict_limit=None)
+    assert retry.fingerprint() == limited.fingerprint()
+    warm = solve_obligation(retry, simp_cache=cache)
+    assert warm.status in ("sat", "unsat")
+    assert warm.stats.get("simplify_warm_starts") == 1
+    assert first.fingerprint == warm.fingerprint
+
+
+def test_corrupted_warm_entry_falls_back_to_cold_solve(tmp_path):
+    """Cache corruption must degrade to a cold solve, never crash."""
+    cache = ResultCache(str(tmp_path))
+    ob = _bve_friendly_obligation()
+    cold = solve_obligation(ob, simp_cache=cache)
+    for bad in (
+        {"nvars": ob.nvars, "clauses": [["x"]], "stack": []},
+        {"nvars": ob.nvars, "clauses": [[ob.nvars + 99]], "stack": []},
+        {"nvars": "?", "clauses": [], "stack": []},
+        {"clauses": []},
+        # Corrupted reconstruction stacks: out-of-range witness or
+        # clause literals would index past the model list.
+        {"nvars": ob.nvars, "clauses": [[1, 2]],
+         "stack": [[999999, [-1]]]},
+        {"nvars": ob.nvars, "clauses": [[1, 2]],
+         "stack": [[1, [0]]]},
+        {"nvars": ob.nvars, "clauses": [[1, 2]],
+         "stack": [[1, [ob.nvars + 50]]]},
+    ):
+        cache.store_simplified(ob.fingerprint(), bad)
+        verdict = solve_obligation(ob, simp_cache=cache)
+        assert verdict.status == cold.status
+        assert verdict.model == cold.model
+        assert "simplify_warm_starts" not in verdict.stats
+
+
+def test_pool_workers_share_warm_cache(tmp_path):
+    """The multiprocessing pool path warm-starts too: worker processes
+    open the engine's cache directory and store .simp entries."""
+    import os
+
+    obs = [_bve_friendly_obligation(name=f"pw{i}") for i in range(3)]
+    # Distinct contents per obligation so each gets its own fingerprint.
+    for i, ob in enumerate(obs):
+        ob.clauses.append([1, 2 + i])
+    with ProofEngine(jobs=2, cache_dir=str(tmp_path)) as engine:
+        first = engine.solve_ordered(obs)
+    assert all(v is not None for v in first)
+    simp = [n for n in os.listdir(str(tmp_path))
+            if n.endswith(".simp.json")]
+    assert len(simp) == len(obs)
+    # A later jobs=1 run warm-starts from what the pool workers stored.
+    with ProofEngine(jobs=1, cache_dir=str(tmp_path)) as engine:
+        engine.cache_hits = 0  # force non-verdict path: drop verdicts
+        for ob in obs:
+            os.unlink(str(tmp_path / f"{ob.fingerprint()}.json"))
+        again = engine.solve_ordered(obs)
+    for a, b in zip(first, again):
+        assert (a.status, a.model) == (b.status, b.model)
+    assert any(v.stats.get("simplify_warm_starts") for v in again)

@@ -283,3 +283,48 @@ def test_check_result_to_dict_roundtrips_through_json():
 def test_proved_result_to_dict_has_no_alert():
     result = UpecCheckResult(status="proved", k=3, checked_frames=3)
     assert result.to_dict()["alert"] is None
+
+
+# ----------------------------------------------------------------------
+# Tab.-II sweep cells: window length for alert
+# ----------------------------------------------------------------------
+def test_table2_grid_reports_first_alert_window():
+    from repro.engine import CELL_ALERT_WINDOW
+
+    sweep = ScenarioSweep.table2_grid(variants=("secure", "orc"), max_k=2)
+    assert all(cell.cell_type == CELL_ALERT_WINDOW for cell in sweep.cells)
+    result = sweep.run(jobs=1)
+    assert [out.cell.label for out in result.outcomes] == \
+        ["secure/cached/window<=2", "orc/cached/window<=2"]
+    for out in result.outcomes:
+        # With the full commitment every variant alerts within the
+        # window (P-alerts included — the refinement loop has not
+        # removed anything); the measurement is *where*.
+        assert out.result["verdict"] == "alert"
+        assert out.result["alert_frame"] == out.result["k"]
+        assert out.result["alert"] is not None
+    # The oracle: the checker's own find_first_alert_window.
+    direct = UpecChecker(
+        UpecModel(SOCS["orc"], SCENARIO), engine=INLINE
+    ).find_first_alert_window(max_k=2)
+    orc = result.outcomes[1].result
+    assert orc["alert_frame"] == direct.k
+    assert orc["alert"] == direct.alert.to_dict()
+    # Rows render without methodology-only fields.
+    rows = result.rows()
+    assert rows[1][2] == f"frame {direct.k}"
+    data = result.to_dict()
+    assert data["cells"][0]["cell_type"] == "find_first_alert_window"
+
+
+def test_table2_cells_run_on_the_engine_path(tmp_path):
+    sweep = ScenarioSweep.table2_grid(
+        variants=("orc",), max_k=2, cache_dir=str(tmp_path / "cache"),
+    )
+    cold = sweep.run(jobs=1)
+    warm = sweep.run(jobs=1)
+    assert warm.verdicts() == cold.verdicts()
+    out = warm.outcomes[0].result
+    assert out["stats"]["engine_cache_hits"] > 0
+    assert out["stats"]["engine_cache_misses"] == 0
+    assert out["alert"] == cold.outcomes[0].result["alert"]
