@@ -16,6 +16,10 @@ uniformly accept:
 ``--no-preprocess``   disable the SatELite-style CNF pre-/inprocessor
 ``--no-slice``        export whole-context proof obligations instead of
                       cone-of-influence slices
+``--split``           split each frame's commitment check into
+                      per-register(-group) proof obligations so deep
+                      frames saturate the worker pool
+                      (``--no-split`` overrides ``REPRO_ENGINE_SPLIT``)
 ``--stats``           print solver / simplifier / engine counters
                       (including slice reduction ratios)
 ``--json``            machine-readable result on stdout
@@ -84,6 +88,16 @@ def _add_solver_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-slice", action="store_true",
                         help="export whole-context proof obligations "
                              "instead of cone-of-influence slices")
+    split_group = parser.add_mutually_exclusive_group()
+    split_group.add_argument("--split", dest="split", action="store_true",
+                             default=None,
+                             help="split each frame's commitment check "
+                                  "into per-register(-group) obligations "
+                                  "(default: $REPRO_ENGINE_SPLIT, off)")
+    split_group.add_argument("--no-split", dest="split",
+                             action="store_false",
+                             help="force unsplit frame obligations even "
+                                  "when REPRO_ENGINE_SPLIT=1")
     parser.add_argument("--conflict-limit", type=int, default=None)
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker processes for proof obligations "
@@ -142,7 +156,10 @@ def _engine_from_args(args):
         from repro.dist.remote import RemoteEngine
 
         return RemoteEngine(connect, cache_dir=args.cache_dir)
-    if args.jobs is None and args.cache_dir is None:
+    # A bare --split still needs the obligation path (the incremental
+    # in-context solver has nothing to split), so it forces an engine at
+    # the environment-default jobs setting.
+    if args.jobs is None and args.cache_dir is None and not args.split:
         return None
     from repro.engine import ProofEngine
 
@@ -153,6 +170,12 @@ def _slice_from_args(args):
     """False for --no-slice, else None (the REPRO_ENGINE_SLICE default,
     which is on)."""
     return False if args.no_slice else None
+
+
+def _split_from_args(args):
+    """True for --split, False for --no-split, else None (the
+    REPRO_ENGINE_SPLIT default, which is off)."""
+    return args.split
 
 
 def _emit(args, payload: dict, human: str) -> None:
@@ -185,7 +208,8 @@ def cmd_check(args) -> int:
     model = UpecModel(soc, scenario, simplify=not args.no_preprocess)
     engine = _engine_from_args(args)
     result = UpecChecker(model, engine=engine,
-                         slice=_slice_from_args(args)).check(
+                         slice=_slice_from_args(args),
+                         split=_split_from_args(args)).check(
         k=args.k, conflict_limit=args.conflict_limit
     )
     human = f"scenario: {scenario.describe()}\n{result.describe()}"
@@ -208,6 +232,7 @@ def cmd_methodology(args) -> int:
         simplify=not args.no_preprocess,
         engine=_engine_from_args(args),
         slice=_slice_from_args(args),
+        split=_split_from_args(args),
     ).run(k=args.k)
     human = result.describe()
     if args.stats and not args.json:
@@ -249,6 +274,7 @@ def cmd_sweep(args) -> int:
         cache_dir=cache_dir,
         slice=_slice_from_args(args),
         connect=connect,
+        split=_split_from_args(args),
     )
     result = sweep.run(jobs=jobs)
     human = format_table(

@@ -97,12 +97,14 @@ class UpecMethodology:
         jobs: Optional[int] = None,
         cache_dir: Optional[str] = None,
         slice: Optional[bool] = None,
+        split: Optional[bool] = None,
     ) -> None:
         self.soc = soc
         self.scenario = scenario
         self.conflict_limit = conflict_limit
         self.simplify = simplify
         self.slice = slice
+        self.split = split
         from repro.engine.pool import ProofEngine, resolve_engine
 
         if engine is None and (jobs is not None or cache_dir is not None):
@@ -130,7 +132,7 @@ class UpecMethodology:
 
         checker = UpecChecker(
             model, engine=self.engine if self.engine is not None else INLINE,
-            slice=self.slice,
+            slice=self.slice, split=self.split,
         )
         commitment: List[Reg] = model.default_commitment()
         p_alerts: List[Alert] = []

@@ -73,12 +73,25 @@ class UpecChecker:
     cache.  Both modes report the lowest alerting frame, so verdicts are
     identical; an unset engine falls back to the environment default
     (``REPRO_ENGINE_JOBS`` / ``REPRO_ENGINE_CACHE``).
+
+    With ``split=True`` (or ``REPRO_ENGINE_SPLIT=1``) each frame's
+    commitment check is further split into independent per-register(-
+    group) obligations so the deepest frame alone can saturate a worker
+    pool or the distributed fleet (see :mod:`repro.engine.split`).  The
+    frame is UNSAT iff every group is; any SAT group reports the alert
+    through the frame's canonical *unsplit* obligation, so status, k,
+    alert register set and witness trace are bit-identical to an unsplit
+    run at any ``jobs`` setting (splitting requires an engine: the
+    engine-less incremental path ignores the knob, which is sound — it
+    solves the same unsplit query).
     """
 
     def __init__(self, model: UpecModel, engine=None,
-                 slice: Optional[bool] = None) -> None:
+                 slice: Optional[bool] = None,
+                 split: Optional[bool] = None) -> None:
         self.model = model
         self.slice = slice
+        self.split = split
         from repro.engine.pool import resolve_engine
 
         self.engine = resolve_engine(engine)
@@ -87,6 +100,35 @@ class UpecChecker:
         from repro.engine.slice import env_slice
 
         return env_slice() if self.slice is None else bool(self.slice)
+
+    def _split_enabled(self) -> bool:
+        from repro.engine.split import env_split
+
+        return env_split() if self.split is None else bool(self.split)
+
+    def _frame_split(self, regs: Sequence[Reg], t: int,
+                     conflict_limit: Optional[int], split: bool,
+                     slice: Optional[bool] = None):
+        """One frame's check as a FrameSplit (or None when structurally
+        proved) — a single-obligation degenerate split in unsplit mode,
+        so the engine paths walk one uniform shape."""
+        from repro.engine.split import FrameSplit
+
+        model = self.model
+        if split:
+            return model.frame_split_obligations(
+                regs, t, conflict_limit, slice=slice
+            )
+        obligation = model.frame_obligation(regs, t, conflict_limit,
+                                            slice=slice)
+        if obligation is None:
+            return None
+        return FrameSplit(
+            obligations=[obligation],
+            groups=[[reg.name for reg in regs]],
+            full_obligation=obligation,
+            full=True,
+        )
 
     def check(
         self,
@@ -170,44 +212,57 @@ class UpecChecker:
         mapper's emission history, so every frame of the window is
         exported eagerly at any jobs setting (the pre-slicing behaviour)
         to keep jobs=1 and jobs=N obligation streams identical.
+
+        With splitting, each frame contributes its register-group
+        obligations to the flattened batch (frame-major, group-minor);
+        the ordered scheduler's early-stop then cancels both later
+        frames *and* a SAT group's in-frame siblings network-wide, and
+        first-non-UNSAT selection stays canonical at any jobs setting.
         """
-        model = self.model
         since = self.engine.stats()
+        split = self._split_enabled()
         if self.engine.jobs == 1 and self._slice_enabled():
             return self._check_engine_lazy(
                 k, regs, start_frame, conflict_limit, witness_signals,
-                start, since,
+                start, since, split,
             )
         frames = list(range(start_frame, k + 1))
-        obligations = [
-            model.frame_obligation(regs, t, conflict_limit,
-                                   slice=self.slice)
+        batches = [
+            self._frame_split(regs, t, conflict_limit, split,
+                              slice=self.slice)
             for t in frames
         ]
-        pending = [ob for ob in obligations if ob is not None]
+        pending = [ob for fs in batches if fs is not None
+                   for ob in fs.obligations]
         verdicts = iter(self.engine.solve_ordered(
             pending, early_stop=lambda v: not v.unsat
         ))
         checked = 0
-        for t, obligation in zip(frames, obligations):
+        for t, fs in zip(frames, batches):
             checked += 1
-            if obligation is None:
+            if fs is None:
                 # Structural hashing folded every pair to equality: the
                 # commitment cannot differ at this frame (no SAT needed).
                 continue
-            verdict = next(verdicts)
-            if verdict is None or verdict.unsat:
-                continue
-            if not verdict.sat:
-                return UpecCheckResult(
-                    status=INCONCLUSIVE, k=t,
-                    runtime_s=time.perf_counter() - start,
-                    checked_frames=checked, stats=self._engine_stats(since),
+            for obligation in fs.obligations:
+                verdict = next(verdicts)
+                if verdict is None or verdict.unsat:
+                    continue
+                if not verdict.sat:
+                    return UpecCheckResult(
+                        status=INCONCLUSIVE, k=t,
+                        runtime_s=time.perf_counter() - start,
+                        checked_frames=checked,
+                        stats=self._engine_stats(since),
+                    )
+                if fs.full:
+                    return self._alert_result(
+                        obligation, verdict, t, regs, witness_signals,
+                        checked, start, since,
+                    )
+                return self._alert_via_full(
+                    fs, t, regs, witness_signals, checked, start, since,
                 )
-            return self._alert_result(
-                obligation, verdict, t, regs, witness_signals, checked,
-                start, since,
-            )
         return UpecCheckResult(
             status=PROVED, k=k, runtime_s=time.perf_counter() - start,
             checked_frames=checked, stats=self._engine_stats(since),
@@ -222,33 +277,78 @@ class UpecChecker:
         witness_signals: bool,
         start: float,
         since: Dict[str, int],
+        split: bool = False,
     ) -> UpecCheckResult:
         """Frame-at-a-time export and solve: an alert at frame ``t``
-        means frames ``t+1..k`` are never unrolled or exported."""
-        model = self.model
+        means frames ``t+1..k`` are never unrolled or exported.
+
+        In split mode each frame's group obligations still go through
+        the ordered scheduler (a per-frame batch), so the first
+        non-UNSAT group is the same one an eager jobs=N run selects."""
         checked = 0
         for t in range(start_frame, k + 1):
-            obligation = model.frame_obligation(regs, t, conflict_limit,
-                                                slice=True)
+            fs = self._frame_split(regs, t, conflict_limit, split,
+                                   slice=True)
             checked += 1
-            if obligation is None:
+            if fs is None:
                 continue
-            verdict = self.engine.solve(obligation)
-            if verdict.unsat:
-                continue
-            if not verdict.sat:
-                return UpecCheckResult(
-                    status=INCONCLUSIVE, k=t,
-                    runtime_s=time.perf_counter() - start,
-                    checked_frames=checked, stats=self._engine_stats(since),
-                )
-            return self._alert_result(
-                obligation, verdict, t, regs, witness_signals, checked,
-                start, since,
+            verdicts = self.engine.solve_ordered(
+                fs.obligations, early_stop=lambda v: not v.unsat
             )
+            for obligation, verdict in zip(fs.obligations, verdicts):
+                if verdict is None or verdict.unsat:
+                    continue
+                if not verdict.sat:
+                    return UpecCheckResult(
+                        status=INCONCLUSIVE, k=t,
+                        runtime_s=time.perf_counter() - start,
+                        checked_frames=checked,
+                        stats=self._engine_stats(since),
+                    )
+                if fs.full:
+                    return self._alert_result(
+                        obligation, verdict, t, regs, witness_signals,
+                        checked, start, since,
+                    )
+                return self._alert_via_full(
+                    fs, t, regs, witness_signals, checked, start, since,
+                )
         return UpecCheckResult(
             status=PROVED, k=k, runtime_s=time.perf_counter() - start,
             checked_frames=checked, stats=self._engine_stats(since),
+        )
+
+    def _alert_via_full(
+        self,
+        fs,
+        t: int,
+        regs: Sequence[Reg],
+        witness_signals: bool,
+        checked: int,
+        start: float,
+        since: Dict[str, int],
+    ) -> UpecCheckResult:
+        """A split register group is SAT at frame ``t``: re-solve the
+        frame's canonical *unsplit* obligation (pre-exported alongside
+        the groups, so its bytes match an unsplit run's) and report the
+        alert from its model — the alert register set and witness trace
+        are then bit-identical to unsplit mode, regardless of which
+        group fired or what partial model its solver found."""
+        verdict = self.engine.solve(fs.full_obligation)
+        if verdict.unsat:
+            raise UpecError(
+                f"split consistency violation at frame {t}: a register "
+                "group is SAT but the frame's full obligation is UNSAT"
+            )
+        if not verdict.sat:
+            return UpecCheckResult(
+                status=INCONCLUSIVE, k=t,
+                runtime_s=time.perf_counter() - start,
+                checked_frames=checked, stats=self._engine_stats(since),
+            )
+        return self._alert_result(
+            fs.full_obligation, verdict, t, regs, witness_signals,
+            checked, start, since,
         )
 
     def _alert_result(

@@ -12,7 +12,10 @@ layers:
   influence (:mod:`repro.engine.slice`), canonically renumbered so the
   same logical query is bit-identical — and cache-key identical — no
   matter how the shared context grew (``REPRO_ENGINE_SLICE=0``
-  restores whole-context snapshots).
+  restores whole-context snapshots).  :mod:`repro.engine.split`
+  additionally splits a UPEC frame's commitment check into independent
+  per-register(-group) obligations (``split=`` /
+  ``REPRO_ENGINE_SPLIT=1``) so one deep frame can saturate the fleet.
 * **scheduler** (:mod:`repro.engine.pool`) — :class:`SolverPool` runs
   obligation batches on a ``multiprocessing`` worker pool (in-process at
   ``jobs=1``), consuming results in submission order with early-cancel
@@ -58,6 +61,7 @@ from repro.engine.pool import (
     resolve_engine,
 )
 from repro.engine.slice import SLICE_ENV, SliceResult, env_slice, slice_cnf
+from repro.engine.split import SPLIT_ENV, FrameSplit, env_split
 from repro.engine.sweep import (
     CELL_ALERT_WINDOW,
     CELL_METHODOLOGY,
@@ -72,9 +76,11 @@ __all__ = [
     "CACHE_MAX_ENV",
     "CELL_ALERT_WINDOW",
     "CELL_METHODOLOGY",
+    "FrameSplit",
     "INLINE",
     "JOBS_ENV",
     "SLICE_ENV",
+    "SPLIT_ENV",
     "ProofEngine",
     "ProofObligation",
     "ResultCache",
@@ -90,6 +96,7 @@ __all__ = [
     "Verdict",
     "default_engine",
     "env_slice",
+    "env_split",
     "pack_model",
     "resolve_engine",
     "slice_cnf",

@@ -315,13 +315,18 @@ def default_engine() -> Optional[ProofEngine]:
     """The environment-configured engine shared by call sites that were
     not handed an explicit one.
 
-    Returns None (legacy in-context solving) unless ``REPRO_ENGINE_JOBS``
-    or ``REPRO_ENGINE_CACHE`` asks for the obligation path.  The engine
-    is a singleton so one worker pool serves the whole process.
+    Returns None (legacy in-context solving) unless ``REPRO_ENGINE_JOBS``,
+    ``REPRO_ENGINE_CACHE`` or ``REPRO_ENGINE_SPLIT`` asks for the
+    obligation path.  The engine is a singleton so one worker pool
+    serves the whole process.
     """
     global _shared_engine, _shared_key
+    from repro.engine.split import env_split
+
     key = (env_jobs(), os.environ.get(CACHE_ENV) or None)
-    if key == (1, None):
+    if key == (1, None) and not env_split():
+        # REPRO_ENGINE_SPLIT needs the obligation path even without a
+        # pool or cache — the incremental solver has nothing to split.
         return None
     if _shared_engine is None or _shared_key != key:
         if _shared_engine is not None:

@@ -1,0 +1,128 @@
+"""Intra-frame obligation splitting: per-register commitment checks.
+
+A UPEC frame check asks "can *any* commitment register pair differ at
+frame ``t``?" — one obligation whose target ORs every per-register diff
+literal.  That single obligation serializes the deepest (most
+expensive) frame of every window: a 4-worker pool or a distributed
+fleet idles while one solver grinds it.
+
+Splitting rests on a one-line identity: ``SAT(F ∧ (d1 ∨ … ∨ dn))`` iff
+``SAT(F ∧ di)`` for some ``i``.  So the frame is UNSAT iff *every*
+per-register obligation is UNSAT, and any SAT register yields the
+frame's alert.  The checker solves the per-register obligations in the
+commitment's canonical order through the ordered scheduler
+(:meth:`repro.engine.pool.ProofEngine.solve_ordered`), so the first
+non-UNSAT verdict — and with it the alert frame and register set — is
+schedule-independent at any ``jobs`` setting, locally and over the
+distributed service, exactly as sibling frames already are.
+
+Two refinements keep split runs bit-identical to unsplit ones and the
+per-obligation overhead bounded:
+
+* **Emission parity** — the model exports the canonical *unsplit* frame
+  obligation first (emitting the full commitment-OR cone into the
+  shared CNF exactly as an unsplit run would), then derives the split
+  obligations without growing the context at all: each group's mapped
+  diff literals become one appended disjunctive root clause
+  (``export_obligation(disjunction=True)``), no new Tseitin gates.
+  Every other obligation's canonical slice — and cache fingerprint —
+  is therefore unaffected by the ``split=`` setting, and when a split
+  group turns up SAT the checker takes the alert and witness from that
+  pre-exported unsplit obligation, whose bytes (hence solved model) are
+  identical to what an unsplit run solves.
+* **Cone-overlap grouping** — registers whose sliced cones are nearly
+  identical (Jaccard overlap >= :data:`GROUP_OVERLAP` over the
+  recorded Tseitin definitions) are batched into one obligation, so
+  near-duplicate cones are not refuted once per register.
+
+Caveat: under a ``conflict_limit`` a split run may return INCONCLUSIVE
+where an unsplit run alerts (or vice versa) — different searches hit
+the budget differently.  Without limits the verdicts, alerts and
+witness traces are bit-identical by construction.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set
+
+#: Environment knob: set to ``1`` to split frame commitment checks into
+#: per-register(-group) obligations wherever the caller did not pass an
+#: explicit ``split=`` argument.  Off by default.
+SPLIT_ENV = "REPRO_ENGINE_SPLIT"
+
+#: Jaccard overlap above which two registers' cones are considered
+#: near-identical and their diff literals share one obligation.
+GROUP_OVERLAP = 0.9
+
+
+def env_split() -> bool:
+    """The environment-default split setting (off unless enabled)."""
+    return os.environ.get(SPLIT_ENV, "0").strip().lower() in (
+        "1", "true", "yes", "on"
+    )
+
+
+@dataclass
+class FrameSplit:
+    """One frame's commitment check, split into independent obligations.
+
+    ``obligations`` are solved in list order (the canonical aggregation
+    order: commitment order of each group's first register); frame
+    ``t`` is UNSAT iff all of them are.  ``full_obligation`` is the
+    canonical *unsplit* export of the same frame — byte-identical to
+    what an unsplit run solves — from which the checker takes the alert
+    model when any group is SAT.  ``full`` marks the degenerate case
+    (constant-true target, or fewer than two distinct diff literals)
+    where splitting buys nothing and ``obligations`` is just
+    ``[full_obligation]``.
+    """
+
+    obligations: List = field(default_factory=list)
+    groups: List[List[str]] = field(default_factory=list)
+    full_obligation: object = None
+    full: bool = False
+
+
+def cone_vars(var: int, definitions: Dict[int, List[int]],
+              clauses: Sequence[List[int]]) -> Set[int]:
+    """Transitive fan-in of a CNF variable over recorded Tseitin
+    definitions (the same direction the obligation slicer walks)."""
+    reached = {var}
+    stack = [var]
+    while stack:
+        v = stack.pop()
+        for ci in definitions.get(v, ()):
+            for lit in clauses[ci]:
+                u = abs(lit)
+                if u not in reached:
+                    reached.add(u)
+                    stack.append(u)
+    return reached
+
+
+def group_cones(cones: Sequence[Set[int]],
+                overlap: float = GROUP_OVERLAP) -> List[List[int]]:
+    """Greedy deterministic grouping of cone sets by Jaccard overlap.
+
+    Walks the cones in order (the commitment's canonical register
+    order) and joins each to the first existing group whose
+    *representative* (first member's) cone overlaps by at least
+    ``overlap``, else opens a new group.  Groups, and members within a
+    group, preserve input order — the aggregation order is therefore a
+    pure function of the cones, not of any schedule.
+    """
+    groups: List[List[int]] = []
+    reps: List[Set[int]] = []
+    for i, cone in enumerate(cones):
+        for rep, members in zip(reps, groups):
+            inter = len(rep & cone)
+            union = len(rep) + len(cone) - inter
+            if union == 0 or inter / union >= overlap:
+                members.append(i)
+                break
+        else:
+            reps.append(cone)
+            groups.append([i])
+    return groups

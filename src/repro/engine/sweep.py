@@ -15,7 +15,8 @@ each cell additionally shards its obligations over the distributed
 proof service (:mod:`repro.dist`).
 
 Workers rebuild the SoC from the variant name, so only plain data
-crosses the process boundary (no circuit pickling).
+crosses the process boundary (no circuit pickling); each worker process
+memoizes the build per variant, so a grid's repeated rows pay it once.
 """
 
 from __future__ import annotations
@@ -133,8 +134,26 @@ class SweepResult:
         return rows
 
 
+#: Per-worker-process SoC memo: grid rows repeat the same few variants,
+#: and the circuit build dominates short cells (see ``bench_model_build``).
+#: Sharing one Soc across cells is safe — the Soc/Circuit is immutable
+#: after ``finalize`` and every cell builds its own UpecModel/SatContext.
+_SOC_CACHE: Dict[str, Any] = {}
+
+
+def _soc_for(variant: str):
+    soc = _SOC_CACHE.get(variant)
+    if soc is None:
+        from repro.soc import SocConfig, build_soc
+        from repro.soc.config import FORMAL_CONFIG_KWARGS
+
+        config = getattr(SocConfig, variant)(**FORMAL_CONFIG_KWARGS)
+        soc = _SOC_CACHE[variant] = build_soc(config)
+    return soc
+
+
 def _run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Worker body: rebuild the SoC, run the cell, return dicts.
+    """Worker body: build (or reuse) the SoC, run the cell, return dicts.
 
     Imports stay inside the function so the engine package has no
     import-time dependency on :mod:`repro.core` (which itself imports the
@@ -144,12 +163,9 @@ def _run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
     from repro.core.model import UpecModel, UpecScenario
     from repro.core.upec import UpecChecker
     from repro.engine.pool import INLINE, ProofEngine
-    from repro.soc import SocConfig, build_soc
-    from repro.soc.config import FORMAL_CONFIG_KWARGS
 
     start = time.perf_counter()
-    config = getattr(SocConfig, payload["variant"])(**FORMAL_CONFIG_KWARGS)
-    soc = build_soc(config)
+    soc = _soc_for(payload["variant"])
     scenario = UpecScenario(**payload["scenario"])
     # With a broker address the cell shards its obligations over the
     # distributed proof service; with a cache directory it takes the
@@ -161,7 +177,9 @@ def _run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
 
         engine = RemoteEngine(payload["connect"],
                               cache_dir=payload["cache_dir"])
-    elif payload["cache_dir"]:
+    elif payload["cache_dir"] or payload.get("split"):
+        # Splitting needs the obligation path — the incremental
+        # in-context solver has nothing to split.
         engine = ProofEngine(jobs=1, cache_dir=payload["cache_dir"])
     else:
         engine = INLINE
@@ -169,7 +187,8 @@ def _run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
         if payload.get("cell_type") == CELL_ALERT_WINDOW:
             model = UpecModel(soc, scenario, simplify=payload["simplify"])
             checker = UpecChecker(model, engine=engine,
-                                  slice=payload.get("slice"))
+                                  slice=payload.get("slice"),
+                                  split=payload.get("split"))
             check = checker.find_first_alert_window(
                 max_k=payload["k"],
                 conflict_limit=payload["conflict_limit"],
@@ -191,6 +210,7 @@ def _run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
                 simplify=payload["simplify"],
                 engine=engine,
                 slice=payload.get("slice"),
+                split=payload.get("split"),
             )
             result = methodology.run(
                 k=payload["k"],
@@ -217,6 +237,7 @@ class ScenarioSweep:
         max_iterations: int = 64,
         slice: Optional[bool] = None,
         connect: Optional[str] = None,
+        split: Optional[bool] = None,
     ) -> None:
         self.cells = list(cells)
         self.simplify = simplify
@@ -225,6 +246,7 @@ class ScenarioSweep:
         self.max_iterations = max_iterations
         self.slice = slice
         self.connect = connect
+        self.split = split
 
     # ------------------------------------------------------------------
     @classmethod
@@ -299,6 +321,7 @@ class ScenarioSweep:
             "max_iterations": self.max_iterations,
             "slice": self.slice,
             "connect": self.connect,
+            "split": self.split,
         }
 
     def run(self, jobs: int = 1) -> SweepResult:

@@ -143,6 +143,11 @@ class SatContext:
         finally:
             log.unit_tag = None
 
+    def bump_stat(self, key: str, amount: int = 1) -> None:
+        """Accumulate an export-side counter into :meth:`stats` (used by
+        the slicing and frame-splitting layers)."""
+        self._slice_totals[key] = self._slice_totals.get(key, 0) + amount
+
     def export_obligation(
         self,
         name: str,
@@ -151,6 +156,7 @@ class SatContext:
         meta: Optional[Dict[str, Any]] = None,
         slice: Optional[bool] = None,
         frame: Optional[int] = None,
+        disjunction: bool = False,
     ):
         """Snapshot the current formula plus AIG-literal assumptions as a
         serializable :class:`repro.engine.obligation.ProofObligation`.
@@ -161,6 +167,13 @@ class SatContext:
         fingerprint does not depend on how the shared context grew.
         ``frame`` additionally drops units tagged with a later frame
         (the UPEC per-frame window assumptions).
+
+        With ``disjunction=True`` the mapped assumption literals become
+        a single appended root clause (their OR) and the obligation
+        carries no assumptions: SAT iff *any* of the literals is
+        satisfiable with the formula.  This is how the frame splitter
+        (:mod:`repro.engine.split`) batches a register group into one
+        obligation without emitting new OR gates into the shared CNF.
         """
         from repro.engine.obligation import ProofObligation
         from repro.engine.slice import env_slice, slice_cnf
@@ -187,11 +200,16 @@ class SatContext:
                 totals.get("obligations_sliced", 0) + 1
             for key, value in sliced.stats().items():
                 totals[key] = totals.get(key, 0) + value
+            clauses = sliced.clauses
+            query = sliced.assumptions
+            if disjunction:
+                clauses = clauses + [query]
+                query = []
             return ProofObligation(
                 name=name,
                 nvars=sliced.nvars,
-                clauses=sliced.clauses,
-                assumptions=sliced.assumptions,
+                clauses=clauses,
+                assumptions=query,
                 frozen=sliced.frozen,
                 simplify=self.simplify,
                 conflict_limit=conflict_limit,
@@ -199,10 +217,14 @@ class SatContext:
                 remap=sliced.remap,
                 orig_nvars=log.nvars,
             )
+        clauses = list(log.clauses)
+        if disjunction:
+            clauses.append(list(dimacs))
+            dimacs = []
         return ProofObligation(
             name=name,
             nvars=log.nvars,
-            clauses=list(log.clauses),
+            clauses=clauses,
             assumptions=dimacs,
             frozen=sorted(log.frozen),
             simplify=self.simplify,
@@ -343,15 +365,22 @@ class BmcEngine:
     frame's query is exported as a proof obligation and dispatched to
     the scheduler/cache layers; otherwise queries are solved on the
     context's incremental in-process solver.
+
+    ``split`` is accepted for uniformity with the UPEC stack (the
+    ``REPRO_ENGINE_SPLIT`` knob applies everywhere) but is a no-op
+    here: a BMC frame's target is a single assertion literal — there is
+    no commitment disjunction to split.
     """
 
     def __init__(self, circuit: Circuit, init: str = "reset",
                  simplify: bool = True, engine=None,
-                 slice: Optional[bool] = None) -> None:
+                 slice: Optional[bool] = None,
+                 split: Optional[bool] = None) -> None:
         self.circuit = circuit.finalize()
         self.context = SatContext(simplify=simplify)
         self.unroller = Unroller(circuit, self.context.aig, init=init)
         self.slice = slice
+        self.split = split
         from repro.engine.pool import resolve_engine
 
         self.engine = resolve_engine(engine)

@@ -56,6 +56,7 @@ def prove_by_induction(
     simplify: bool = True,
     engine=None,
     slice: Optional[bool] = None,
+    split: Optional[bool] = None,
 ) -> InductionResult:
     """Attempt to prove ``AG prop`` (under per-cycle assumptions) by
     k-induction.
@@ -76,7 +77,7 @@ def prove_by_induction(
     # the BMC engine does not re-consult the environment defaults.
     base_engine = BmcEngine(circuit, init="reset", simplify=simplify,
                             engine=engine if engine is not None else INLINE,
-                            slice=slice)
+                            slice=slice, split=split)
     base = base_engine.check_always(
         prop, k=k, assumptions=assumptions, conflict_limit=conflict_limit
     )

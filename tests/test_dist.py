@@ -124,9 +124,10 @@ def _methodology_signature(result):
     )
 
 
-def _run_methodology(variant, engine, k=2):
+def _run_methodology(variant, engine, k=2, split=None):
     soc = build_soc(getattr(SocConfig, variant)(**FORMAL_CONFIG_KWARGS))
-    return UpecMethodology(soc, SCENARIO, engine=engine).run(k=k)
+    return UpecMethodology(soc, SCENARIO, engine=engine,
+                           split=split).run(k=k)
 
 
 # ----------------------------------------------------------------------
@@ -449,6 +450,43 @@ def test_methodology_survives_worker_kill_mid_run(broker):
         engine.close()
     assert "error" not in outcome, outcome.get("error")
     assert _methodology_signature(sequential) == \
+        _methodology_signature(outcome["result"])
+
+
+def test_methodology_split_distributed_matches_sequential_with_worker_kill(
+        broker):
+    """Intra-frame splitting over the distributed service: a split run
+    sharded across two workers — one SIGKILLed mid-run — must match both
+    the sequential split run and the sequential *unsplit* oracle."""
+    victim = broker.spawn(solve_delay=0.05)
+    broker.spawn(solve_delay=0.05)
+    unsplit = _run_methodology("orc", engine=ProofEngine(jobs=1))
+    sequential = _run_methodology("orc", engine=ProofEngine(jobs=1),
+                                  split=True)
+    assert _methodology_signature(unsplit) == \
+        _methodology_signature(sequential)
+    engine = RemoteEngine(broker.address)
+    outcome = {}
+
+    def run():
+        try:
+            outcome["result"] = _run_methodology("orc", engine=engine,
+                                                 split=True)
+        except Exception as exc:
+            outcome["error"] = exc
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    try:
+        assert _wait_for(lambda: broker.snapshot()["memo"] >= 1,
+                         timeout=60), "distributed run never progressed"
+        victim.kill()
+        thread.join(timeout=300)
+        assert not thread.is_alive(), "split methodology hung after kill"
+    finally:
+        engine.close()
+    assert "error" not in outcome, outcome.get("error")
+    assert _methodology_signature(unsplit) == \
         _methodology_signature(outcome["result"])
 
 
