@@ -348,9 +348,14 @@ def cmd_serve(args) -> int:
         raise UsageError("--heartbeat-timeout must be at least 2 seconds "
                          f"(got {args.heartbeat_timeout}); workers "
                          "heartbeat once per second")
+    if args.durable and not args.cache_dir:
+        raise UsageError("--durable requires --cache-dir: the queue "
+                         "journals and verdict store live there")
     broker = Broker(
         host=args.host, port=args.port,
         heartbeat_timeout=args.heartbeat_timeout,
+        http_port=args.http_port,
+        cache_dir=args.cache_dir if args.durable else None,
     )
     try:
         broker.start()
@@ -358,7 +363,11 @@ def cmd_serve(args) -> int:
         raise DistError(
             f"cannot listen on {args.host}:{args.port}: {exc}") from exc
     print(f"proof-service broker listening on {broker.address} "
-          f"(heartbeat timeout {broker.heartbeat_timeout:.0f}s)",
+          f"(heartbeat timeout {broker.heartbeat_timeout:.0f}s)"
+          + (f", job API on http://{broker.host}:{broker.http_port}"
+             if broker.http_port is not None else "")
+          + (f", durable state in {args.cache_dir}"
+             if args.durable else ""),
           flush=True)
     try:
         while True:
@@ -390,6 +399,76 @@ def cmd_worker(args) -> int:
     print(f"worker {worker.name} exiting after {solved} obligations",
           flush=True)
     return 0
+
+
+def _http_json(url: str, payload=None, timeout: float = 10.0):
+    """One request against a broker's job API (stdlib only)."""
+    import urllib.error
+    import urllib.request
+
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(
+        url, data=data,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as reply:
+            return reply.status, json.loads(reply.read().decode())
+    except urllib.error.HTTPError as exc:
+        # 4xx/5xx replies still carry a JSON body worth showing.
+        try:
+            return exc.code, json.loads(exc.read().decode())
+        except ValueError:
+            return exc.code, {"error": str(exc)}
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        raise DistError(f"cannot reach job API at {url}: {exc}") from exc
+
+
+def cmd_submit(args) -> int:
+    import time
+
+    _validate_address(args.api)
+    base = f"http://{args.api}"
+    spec = {
+        "kind": args.kind,
+        "variant": args.variant,
+        "scenario": "uncached" if args.uncached else "cached",
+        "k": args.k,
+        "priority": args.priority,
+    }
+    if args.conflict_limit is not None:
+        spec["conflict_limit"] = args.conflict_limit
+    status, reply = _http_json(base + "/jobs", payload=spec)
+    if status != 202:
+        raise DistError(f"broker rejected the job (HTTP {status}): "
+                        f"{reply.get('error', reply)}")
+    job_id = reply["id"]
+    if not args.wait:
+        print(json.dumps(reply, indent=2))
+        return 0
+    # Progress goes to stderr so `repro submit --wait > result.json`
+    # pipes clean JSON.
+    print(f"submitted {job_id}; polling...", file=sys.stderr, flush=True)
+    while True:
+        status, state = _http_json(f"{base}/jobs/{job_id}")
+        if status == 200 and state.get("status") in ("done", "failed"):
+            break
+        time.sleep(args.poll_interval)
+    status, result = _http_json(f"{base}/jobs/{job_id}/result")
+    print(json.dumps(result, indent=2))
+    return 0 if status == 200 else 69
+
+
+def cmd_status(args) -> int:
+    _validate_address(args.api)
+    base = f"http://{args.api}"
+    if args.job:
+        status, state = _http_json(f"{base}/jobs/{args.job}")
+        print(json.dumps(state, indent=2))
+        return 0 if status == 200 else 69
+    status, health = _http_json(base + "/healthz")
+    print(json.dumps(health, indent=2))
+    return 0 if status == 200 else 69
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -445,6 +524,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=7769,
                          help="listen port (0 picks an ephemeral port)")
+    p_serve.add_argument("--http-port", type=int, default=None,
+                         metavar="PORT",
+                         help="also serve the HTTP/JSON job API on this "
+                              "port (see 'repro submit'/'repro status')")
+    p_serve.add_argument("--cache-dir", default=None,
+                         help="verdict store + durable queue/job state "
+                              "(required by --durable)")
+    p_serve.add_argument("--durable", action="store_true",
+                         help="persist queue, memo and job state under "
+                              "--cache-dir so a restarted broker resumes "
+                              "where it died")
     p_serve.add_argument("--heartbeat-timeout", type=float, default=10.0,
                          help="seconds of silence before a worker is "
                               "declared dead and its work requeued")
@@ -466,6 +556,38 @@ def build_parser() -> argparse.ArgumentParser:
                           help="reconnect attempts before giving up on "
                                "an unreachable broker")
     p_worker.set_defaults(func=cmd_worker)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a verification job to a broker's job API"
+    )
+    p_submit.add_argument("variant", choices=VARIANTS)
+    p_submit.add_argument("--api", required=True, metavar="HOST:PORT",
+                          help="broker job-API address "
+                               "(see 'repro serve --http-port')")
+    p_submit.add_argument("--kind", choices=("methodology", "check"),
+                          default="methodology")
+    p_submit.add_argument("--k", type=int, default=2)
+    p_submit.add_argument("--uncached", action="store_true",
+                          help="secret-not-in-cache scenario")
+    p_submit.add_argument("--priority", type=int, default=0,
+                          help="scheduling priority (higher dispatches "
+                               "first; FIFO within a level)")
+    p_submit.add_argument("--conflict-limit", type=int, default=None)
+    p_submit.add_argument("--wait", action="store_true",
+                          help="poll until the job finishes and print "
+                               "its result")
+    p_submit.add_argument("--poll-interval", type=float, default=1.0,
+                          help="seconds between --wait polls")
+    p_submit.set_defaults(func=cmd_submit)
+
+    p_status = sub.add_parser(
+        "status", help="query a broker's job API (/healthz or one job)"
+    )
+    p_status.add_argument("--api", required=True, metavar="HOST:PORT",
+                          help="broker job-API address")
+    p_status.add_argument("--job", default=None, metavar="ID",
+                          help="show one job instead of service health")
+    p_status.set_defaults(func=cmd_status)
 
     return parser
 

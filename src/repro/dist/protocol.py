@@ -26,6 +26,7 @@ client connection while its handler thread answers control messages).
 
 from __future__ import annotations
 
+import asyncio
 import json
 import socket
 import struct
@@ -41,8 +42,10 @@ except ImportError:  # pragma: no cover - environment-dependent
     msgpack = None
 
 #: Bump on any incompatible message-shape change; handshakes between
-#: different versions are rejected.
-PROTO_VERSION = 1
+#: different versions are rejected.  v2: the broker pushes ``cancel``
+#: frames to workers mid-solve (cooperative preemption), so worker
+#: replies are routed by type instead of strict request/response.
+PROTO_VERSION = 2
 
 _HEADER = struct.Struct(">IB")
 _TAG_JSON = ord("J")
@@ -93,6 +96,34 @@ def _decode(tag: int, payload: bytes) -> Dict[str, Any]:
     return message
 
 
+def frame_message(message: Dict[str, Any], codec: str = "json") -> bytes:
+    """One fully encoded wire frame (header + payload) — shared by the
+    threaded :class:`Connection` and the broker's asyncio streams."""
+    tag, payload = _encode(message, codec)
+    return _HEADER.pack(len(payload), tag) + payload
+
+
+async def read_message(reader: "asyncio.StreamReader") \
+        -> Optional[Dict[str, Any]]:
+    """Asyncio twin of :meth:`Connection.recv`: next framed message from
+    a stream reader, or None when the peer closed at a frame boundary."""
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-frame") from exc
+    length, tag = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds the "
+                            f"{MAX_FRAME_BYTES}-byte cap")
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    return _decode(tag, payload)
+
+
 class Connection:
     """A framed, codec-negotiated message stream over one socket."""
 
@@ -104,8 +135,7 @@ class Connection:
 
     # ------------------------------------------------------------------
     def send(self, message: Dict[str, Any]) -> None:
-        tag, payload = _encode(message, self.codec)
-        frame = _HEADER.pack(len(payload), tag) + payload
+        frame = frame_message(message, self.codec)
         with self._send_lock:
             self.sock.sendall(frame)
 

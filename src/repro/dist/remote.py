@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import itertools
 import os
+import time
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.dist.protocol import (
@@ -44,12 +45,25 @@ from repro.errors import DistError
 CONNECT_ENV = "REPRO_ENGINE_CONNECT"
 
 
+class BrokerRefusal(DistError):
+    """The broker answered and said no (failed obligation, rejected
+    batch) — a live link, so the mid-batch reconnect path must raise it
+    through instead of redialing."""
+
+
 class RemotePool:
     """SolverPool-compatible scheduler that solves on a broker's fleet."""
 
-    def __init__(self, address: str, timeout: Optional[float] = 10.0) -> None:
+    def __init__(self, address: str, timeout: Optional[float] = 10.0,
+                 priority: int = 0, reconnect_retries: int = 5,
+                 reconnect_delay: float = 0.5) -> None:
         self.address = parse_address(address)
         self._timeout = timeout
+        #: Scheduling priority of every batch this pool submits (higher
+        #: dispatches first; FIFO within a priority level).
+        self.priority = int(priority)
+        self.reconnect_retries = max(0, int(reconnect_retries))
+        self.reconnect_delay = reconnect_delay
         self._conn: Optional[Connection] = None
         self._batch_ids = itertools.count(1)
         self._client_id = ""
@@ -149,24 +163,59 @@ class RemotePool:
         ``cache`` is accepted for pool-interface compatibility and
         ignored: remote workers consult their own caches, and the
         engine wrapper already filtered client-side hits.
+
+        A broker that dies mid-batch (restart, crash) is *ridden out*:
+        the pool redials with backoff (``reconnect_retries`` ×
+        ``reconnect_delay``) and resubmits only the obligations whose
+        verdicts have not arrived, under a fresh batch id but with the
+        original sequence numbers — so the consumed verdict stream is
+        exactly what the uninterrupted run would have produced.
+        Against a durable broker the resubmission is answered largely
+        from the persistent memo, so a restart costs wall-clock, never
+        work already proved.
         """
         if not obligations:
             return []
-        conn = self._require_conn()
-        batch_id = f"{self._client_id}b{next(self._batch_ids)}"
-        self._send(conn, {
-            "type": "submit",
-            "batch_id": batch_id,
-            "jobs": [
-                {"seq": i, "fingerprint": ob.fingerprint(),
-                 "obligation": obligation_to_wire(ob)}
-                for i, ob in enumerate(obligations)
-            ],
-        })
         results: List[Optional[Verdict]] = [None] * len(obligations)
         arrived: Dict[int, Verdict] = {}
         consumed = 0
         stopped = False
+        deaths = 0
+        while not stopped and consumed < len(obligations):
+            conn = self._require_conn()
+            batch_id = f"{self._client_id}b{next(self._batch_ids)}"
+            try:
+                self._send(conn, {
+                    "type": "submit",
+                    "batch_id": batch_id,
+                    "priority": self.priority,
+                    "jobs": [
+                        {"seq": i, "fingerprint": obligations[i].fingerprint(),
+                         "obligation": obligation_to_wire(obligations[i])}
+                        for i in range(consumed, len(obligations))
+                        if i not in arrived
+                    ],
+                })
+                stopped, consumed = self._consume(
+                    conn, batch_id, obligations, results, arrived,
+                    consumed, stopped, early_stop, on_verdict)
+            except BrokerRefusal:
+                raise          # the broker answered; redialing won't help
+            except DistError:
+                deaths += 1
+                if deaths > self.reconnect_retries:
+                    raise
+                self._reconnect()
+        return results
+
+    def _consume(self, conn: Connection, batch_id: str,
+                 obligations: Sequence[ProofObligation],
+                 results: List[Optional[Verdict]],
+                 arrived: Dict[int, Verdict], consumed: int, stopped: bool,
+                 early_stop, on_verdict):
+        """Drain one submitted batch into ``results``; returns the
+        updated ``(stopped, consumed)``.  Raises DistError when the
+        connection dies (the caller reconnects and resubmits)."""
         while consumed < len(obligations):
             message = self._recv(conn)
             kind = message.get("type")
@@ -211,12 +260,35 @@ class RemotePool:
                     # Mismatched batch, or a straggler racing our cancel:
                     # the caller already has every verdict it asked for.
                     continue
-                raise DistError(
+                raise BrokerRefusal(
                     f"obligation {message.get('seq')} of batch {batch_id} "
                     f"failed on the broker: {message.get('reason')}")
+            elif kind == "error":
+                raise BrokerRefusal(
+                    f"broker rejected batch {batch_id}: "
+                    f"{message.get('reason')}")
             else:
-                raise DistError(f"unexpected message {kind!r} from broker")
-        return results
+                raise BrokerRefusal(
+                    f"unexpected message {kind!r} from broker")
+        return stopped, consumed
+
+    def _reconnect(self) -> None:
+        """Redial a broker that dropped mid-batch, with backoff."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+        last: Optional[DistError] = None
+        for _ in range(max(1, self.reconnect_retries)):
+            time.sleep(self.reconnect_delay)
+            try:
+                self._connect()
+                return
+            except DistError as exc:
+                last = exc
+        raise DistError(
+            f"broker at {self.address[0]}:{self.address[1]} did not come "
+            f"back after {self.reconnect_retries} redial attempts"
+        ) from last
 
 
 class RemoteEngine(ProofEngine):

@@ -13,18 +13,32 @@ preprocessing pass, and every *gossiped* verdict the broker piggybacks
 on a pull is written through — so a fleet of workers sharing nothing but
 the broker converges to a common proof cache.
 
-While a solve runs, a side thread heartbeats on the same connection so
-the broker can tell a busy worker from a dead one.  A lost broker
-connection is retried with backoff (work in flight during the loss is
-the broker's problem: it requeues on disconnect).
+Each connection runs two side threads: a heartbeat (so the broker can
+tell a busy worker from a dead one) and a *receiver* that reads every
+inbound frame.  The receiver routes ordinary replies to the pull loop
+and handles ``cancel`` pushes out of band: when the broker cancels the
+job currently being solved (its batch finished early or was dropped),
+the receiver flips a flag that :func:`solve_obligation`'s
+``cancel_check`` observes inside the CDCL conflict loop — the solve
+abandons its search within a bounded number of conflicts and the core
+goes back to useful work instead of finishing a doomed proof.
+
+A lost broker connection is retried with backoff (work in flight during
+the loss is the broker's problem: it requeues on disconnect).  The
+backoff covers *short-lived* connections too: a broker that accepts the
+dial but drops the link immediately — flapping under restart, a
+load-balancer with no backend — counts against ``max_retries`` just
+like a refused dial, so a worker never busy-spins reconnecting at full
+speed forever.
 """
 
 from __future__ import annotations
 
 import os
+import queue
 import threading
 import time
-from typing import Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.dist.protocol import (
     Connection,
@@ -51,6 +65,7 @@ class Worker:
         max_retries: int = 10,
         retry_delay: float = 0.5,
         dial_timeout: float = 10.0,
+        stable_after: float = 1.0,
     ) -> None:
         self.address: Tuple[str, int] = parse_address(address)
         self.cache = ResultCache(cache_dir) if cache_dir else None
@@ -60,8 +75,17 @@ class Worker:
         self.max_retries = max_retries
         self.retry_delay = retry_delay
         self.dial_timeout = dial_timeout
+        #: A connection must survive this long to count as a success
+        #: for retry accounting (see :meth:`run`).
+        self.stable_after = stable_after
         self.solved = 0
+        self.cancelled = 0
         self._stop = threading.Event()
+        # Cancellation state of the job currently being solved, shared
+        # between the receiver thread and the solve's cancel_check.
+        self._cancel_lock = threading.Lock()
+        self._current_job: Optional[Tuple[str, int]] = None
+        self._cancel_flag = threading.Event()
 
     def stop(self) -> None:
         self._stop.set()
@@ -71,6 +95,14 @@ class Worker:
         """Serve until stopped or the broker stays unreachable.
 
         Returns the number of obligations solved (cache hits included).
+
+        Retry accounting treats a connection that died within
+        ``stable_after`` seconds exactly like a failed dial: it burns a
+        retry and waits ``retry_delay`` before the next attempt.  Only a
+        connection that actually lived resets the budget — otherwise a
+        flapping broker (accepting dials, dropping them at once) would
+        reset ``retries`` on every lap and the worker would reconnect in
+        a zero-delay spin forever.
         """
         retries = 0
         try:
@@ -88,11 +120,25 @@ class Worker:
                     if self._stop.wait(self.retry_delay):
                         break
                     continue
-                retries = 0
+                connected_at = time.monotonic()
                 try:
                     self._serve(conn)
                 finally:
                     conn.close()
+                if self._stop.is_set():
+                    break
+                if time.monotonic() - connected_at >= self.stable_after:
+                    retries = 0
+                else:
+                    retries += 1
+                    if retries > self.max_retries:
+                        raise DistError(
+                            f"broker at {self.address[0]}:"
+                            f"{self.address[1]} is flapping: "
+                            f"{retries} consecutive connections died "
+                            f"within {self.stable_after:.1f}s")
+                    if self._stop.wait(self.retry_delay):
+                        break
         finally:
             if self.cache is not None:
                 self.cache.flush()
@@ -103,6 +149,7 @@ class Worker:
         """One connection's pull loop; returns when the link drops."""
         alive = threading.Event()
         alive.set()
+        replies: "queue.Queue[Optional[Dict[str, Any]]]" = queue.Queue()
 
         def heartbeat() -> None:
             while alive.is_set() and not self._stop.is_set():
@@ -115,16 +162,36 @@ class Worker:
                 except OSError:
                     return
 
+        def receive() -> None:
+            # The only reader of the socket: ordinary replies flow to
+            # the pull loop; ``cancel`` pushes — which the broker sends
+            # at any time, including mid-solve — are handled here.
+            while alive.is_set():
+                try:
+                    message = conn.recv()
+                except (ProtocolError, OSError):
+                    message = None
+                if message is None:
+                    replies.put(None)
+                    return
+                if message.get("type") == "cancel":
+                    self._on_cancel(message)
+                    continue
+                replies.put(message)
+
         pulse = threading.Thread(target=heartbeat, name="worker-heartbeat",
                                  daemon=True)
+        receiver = threading.Thread(target=receive, name="worker-receiver",
+                                    daemon=True)
         pulse.start()
+        receiver.start()
         try:
             while not self._stop.is_set():
                 # A cache-less worker declines gossip: it could only
                 # discard the verdict payloads the broker would ship.
                 conn.send({"type": "pull",
                            "gossip": self.cache is not None})
-                reply = self._recv(conn)
+                reply = replies.get()
                 if reply is None:
                     return
                 self._absorb_gossip(reply.get("gossip") or ())
@@ -135,36 +202,60 @@ class Worker:
                     continue
                 if kind != "job":
                     raise ProtocolError(f"unexpected reply {kind!r} to pull")
-                verdict = self._solve(reply["obligation"])
+                key = (str(reply.get("batch_id")),
+                       int(reply.get("seq", -1)))
+                verdict = self._solve(reply["obligation"], key)
+                if verdict is None:
+                    # Cancelled mid-solve: the broker already discarded
+                    # the job, so there is nothing worth reporting —
+                    # straight back to pulling.
+                    continue
                 conn.send({
                     "type": "result",
-                    "batch_id": reply.get("batch_id"),
-                    "seq": reply.get("seq"),
+                    "batch_id": key[0],
+                    "seq": key[1],
                     "verdict": verdict.to_dict(),
                 })
-                if self._recv(conn) is None:   # ack ("ok")
+                if replies.get() is None:   # ack ("ok")
                     return
         except OSError:
             return
         finally:
             alive.clear()
+            with self._cancel_lock:
+                self._current_job = None
 
-    @staticmethod
-    def _recv(conn: Connection):
-        try:
-            return conn.recv()
-        except ProtocolError:
-            return None
+    def _on_cancel(self, message: Dict[str, Any]) -> None:
+        key = (str(message.get("batch_id")),
+               int(message.get("seq", -1)))
+        with self._cancel_lock:
+            if self._current_job == key:
+                self._cancel_flag.set()
 
     # ------------------------------------------------------------------
-    def _solve(self, payload) -> Verdict:
+    def _solve(self, payload, key: Tuple[str, int]) -> Optional[Verdict]:
+        """Solve one job; None when the broker cancelled it mid-solve."""
         obligation = obligation_from_wire(payload)
         if self.cache is not None:
             hit = self.cache.lookup(obligation)
             if hit is not None:
                 self.solved += 1
                 return hit
-        verdict = solve_obligation(obligation, simp_cache=self.cache)
+        with self._cancel_lock:
+            self._current_job = key
+            self._cancel_flag.clear()
+        try:
+            verdict = solve_obligation(
+                obligation, simp_cache=self.cache,
+                cancel_check=lambda: (self._cancel_flag.is_set()
+                                      or self._stop.is_set()),
+            )
+        finally:
+            with self._cancel_lock:
+                self._current_job = None
+        if self._cancel_flag.is_set() and verdict.status == "unknown":
+            self.cancelled += 1
+            return None
         self.solved += 1
         if self.cache is not None:
             self.cache.store(obligation, verdict)

@@ -259,7 +259,12 @@ class ResultCache:
 
     def lookup(self, obligation: ProofObligation) -> Optional[Verdict]:
         """Return the stored verdict for an obligation, or None."""
-        fingerprint = obligation.fingerprint()
+        return self.lookup_verdict(obligation.fingerprint())
+
+    def lookup_verdict(self, fingerprint: str) -> Optional[Verdict]:
+        """Return the stored verdict for a bare fingerprint, or None —
+        the durable-broker path: the memo is keyed by fingerprint, not
+        by a live obligation."""
         path = self._path(fingerprint)
         try:
             with open(path, "r", encoding="utf-8") as handle:

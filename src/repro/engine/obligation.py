@@ -175,7 +175,8 @@ def _verdict_from_outcome(obligation: ProofObligation, fingerprint: str,
 
 
 def _solve_warm(obligation: ProofObligation, fingerprint: str,
-                warm: Dict[str, Any], start: float) -> Optional[Verdict]:
+                warm: Dict[str, Any], start: float,
+                cancel_check=None) -> Optional[Verdict]:
     """Solve on a cached post-simplification clause database.
 
     The simplified formula is equisatisfiable with the obligation's CNF
@@ -215,6 +216,7 @@ def _solve_warm(obligation: ProofObligation, fingerprint: str,
     outcome = solver.solve(
         assumptions=obligation.assumptions,
         conflict_limit=obligation.conflict_limit,
+        cancel_check=cancel_check,
     )
     stats = solver.stats.as_dict()
     stats["simplify_warm_starts"] = 1
@@ -226,7 +228,7 @@ def _solve_warm(obligation: ProofObligation, fingerprint: str,
 
 
 def solve_obligation(obligation: ProofObligation,
-                     simp_cache=None) -> Verdict:
+                     simp_cache=None, cancel_check=None) -> Verdict:
     """Solve one obligation on a fresh solver (pure; picklable for
     worker processes).
 
@@ -235,13 +237,21 @@ def solve_obligation(obligation: ProofObligation,
     and, after a cold solve, stored — under the obligation's own
     fingerprint, so repeat solves of the same obligation skip the
     preprocessing pass entirely.
+
+    ``cancel_check`` is polled inside the CDCL conflict loop (every
+    :data:`repro.formal.solver.CANCEL_CHECK_EVERY` conflicts); returning
+    True abandons the search and yields an ``unknown`` verdict —
+    cooperative preemption for distributed early-cancel.  Definite
+    verdicts are unaffected, so purity (same obligation, same sat/unsat
+    answer) is preserved.
     """
     start = time.perf_counter()
     fingerprint = obligation.fingerprint()
     if simp_cache is not None and obligation.simplify:
         warm = simp_cache.lookup_simplified(fingerprint)
         if warm is not None:
-            verdict = _solve_warm(obligation, fingerprint, warm, start)
+            verdict = _solve_warm(obligation, fingerprint, warm, start,
+                                  cancel_check=cancel_check)
             if verdict is not None:
                 return verdict
     solver = SimplifyingSolver() if obligation.simplify else CdclSolver()
@@ -255,6 +265,7 @@ def solve_obligation(obligation: ProofObligation,
     outcome = solver.solve(
         assumptions=obligation.assumptions,
         conflict_limit=obligation.conflict_limit,
+        cancel_check=cancel_check,
     )
     stats = solver.stats.as_dict()
     simp = getattr(solver, "simplify_stats", None)

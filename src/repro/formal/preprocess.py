@@ -660,6 +660,7 @@ class SimplifyingSolver:
         self,
         assumptions: Sequence[int] = (),
         conflict_limit: Optional[int] = None,
+        cancel_check=None,
     ) -> Optional[bool]:
         if not self._ok:
             return False
@@ -685,7 +686,8 @@ class SimplifyingSolver:
         else:
             self._sync_vars()
         outcome = self._inner.solve(
-            assumptions=assumptions, conflict_limit=conflict_limit
+            assumptions=assumptions, conflict_limit=conflict_limit,
+            cancel_check=cancel_check,
         )
         if outcome is True:
             base = [False] * (self.nvars + 1)

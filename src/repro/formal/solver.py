@@ -16,11 +16,17 @@ its life in ``_propagate``).
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.errors import FormalError
 
 _UNASSIGNED = -1
+
+#: How many conflicts pass between two ``cancel_check`` polls.  The
+#: callback crosses a thread boundary (a worker's receiver thread sets
+#: the flag it reads), so it must be cheap but need not be instant —
+#: a few hundred conflicts of latency is well under a second.
+CANCEL_CHECK_EVERY = 256
 
 
 def luby_sequence(n: int) -> List[int]:
@@ -450,11 +456,19 @@ class CdclSolver:
         self,
         assumptions: Sequence[int] = (),
         conflict_limit: Optional[int] = None,
+        cancel_check: Optional[Callable[[], bool]] = None,
     ) -> Optional[bool]:
         """Solve the formula.
 
         Returns True (SAT), False (UNSAT), or None if ``conflict_limit``
         was exhausted.  On SAT, :meth:`model_value` reads the model.
+
+        ``cancel_check`` is polled every :data:`CANCEL_CHECK_EVERY`
+        conflicts; returning True abandons the search with None, exactly
+        like an exhausted conflict budget — cooperative preemption for
+        solves whose answer nobody wants anymore (a cancelled distributed
+        batch).  A definite sat/unsat answer is never affected: the check
+        only ever converts *remaining* search into an early exit.
         """
         if not self._ok:
             return False
@@ -479,6 +493,14 @@ class CdclSolver:
                     conflict_limit is not None
                     and self.stats.conflicts - conflicts_at_start
                     >= conflict_limit
+                ):
+                    self._backtrack(0)
+                    return None
+                if (
+                    cancel_check is not None
+                    and (self.stats.conflicts - conflicts_at_start)
+                    % CANCEL_CHECK_EVERY == 0
+                    and cancel_check()
                 ):
                     self._backtrack(0)
                     return None

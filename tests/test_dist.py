@@ -52,9 +52,9 @@ def _worker_main(address, cache_dir=None, solve_delay=0.0):
     if solve_delay:
         pure = solve_obligation
 
-        def delayed(obligation, simp_cache=None):
+        def delayed(obligation, simp_cache=None, **kwargs):
             time.sleep(solve_delay)
-            return pure(obligation, simp_cache=simp_cache)
+            return pure(obligation, simp_cache=simp_cache, **kwargs)
 
         worker_mod.solve_obligation = delayed
     worker_mod.run_worker(address, cache_dir=cache_dir,
@@ -580,5 +580,446 @@ def test_silent_prehandshake_connection_is_reaped():
         assert sock.recv(1) == b""
         assert time.monotonic() - start < 4.0
         sock.close()
+    finally:
+        instance.stop()
+
+
+# ----------------------------------------------------------------------
+# Broker lifecycle bug regressions
+# ----------------------------------------------------------------------
+def test_evicted_batch_retires_after_giving_up():
+    """A job that burns its last worker must retire its finished batch:
+    the old path marked the job done but never popped the batch, leaking
+    its obligation payloads until the client disconnected."""
+    from repro.dist import broker as broker_mod
+
+    instance = Broker(port=0, max_attempts=1)
+    doomed = broker_mod._Worker("w1", "w1", conn=None)
+    batch = broker_mod._Batch("b1", conn=None)
+    job = broker_mod._Job("b1", 0, {"name": "j"}, "fp")
+    job.attempts = 1
+    job.worker = "w1"
+    batch.jobs[0] = job
+    instance._batches["b1"] = batch
+    instance._workers["w1"] = doomed
+    doomed.inflight.add(("b1", 0))
+    instance._evict_worker("w1", "disconnected")
+    assert job.done
+    assert "b1" not in instance._batches   # retired, not leaked
+
+
+def test_dispatch_answers_memoized_queue_entries():
+    """A queued job whose fingerprint got memoized (a duplicate across
+    concurrent batches) must be answered from the memo at dispatch time,
+    not burn a worker on a re-solve."""
+    from repro.dist import broker as broker_mod
+
+    instance = Broker(port=0)
+    memo = {"status": "unsat", "obligation": "j", "fingerprint": "fp",
+            "model": None, "nvars": 0, "runtime_s": 0.0, "stats": {}}
+    instance._verdicts["fp"] = memo
+    delivered = []
+    batch = broker_mod._Batch("b1", conn=None,
+                              deliver=lambda seq, verdict, error:
+                              delivered.append((seq, verdict, error)))
+    job = broker_mod._Job("b1", 0, {"name": "j"}, "fp")
+    batch.jobs[0] = job
+    instance._batches["b1"] = batch
+    instance._queue.append(job)
+    puller = broker_mod._Worker("w1", "w1", conn=None)
+    instance._workers["w1"] = puller
+    reply = instance._dispatch(puller)
+    assert reply["type"] == "idle"         # nothing left to solve
+    assert not puller.inflight
+    assert delivered == [(0, memo, None)]
+    assert job.done
+    assert "b1" not in instance._batches   # batch completed via memo
+
+
+def test_flapping_broker_worker_backs_off():
+    """Connections that die right after the handshake must count against
+    the retry budget: the old loop reset ``retries`` on every successful
+    dial, so a flapping broker produced a zero-delay reconnect spin that
+    never gave up."""
+    from repro.dist.protocol import supported_codecs
+    from repro.dist.worker import Worker
+
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(8)
+    port = listener.getsockname()[1]
+    stop = threading.Event()
+
+    def flap():
+        # Accept, complete the handshake, hang up immediately.
+        while not stop.is_set():
+            try:
+                client, _ = listener.accept()
+            except OSError:
+                return
+            conn = Connection(client)
+            try:
+                conn.recv()
+                conn.send({"type": "welcome", "proto": PROTO_VERSION,
+                           "codec": supported_codecs()[-1], "id": "x",
+                           "workers": 0})
+            except Exception:
+                pass
+            conn.close()
+
+    server = threading.Thread(target=flap, daemon=True)
+    server.start()
+    worker = Worker(f"127.0.0.1:{port}", max_retries=3, retry_delay=0.05,
+                    poll_interval=0.01, stable_after=5.0)
+    outcome = []
+
+    def run():
+        try:
+            worker.run()
+            outcome.append(None)
+        except DistError as exc:
+            outcome.append(exc)
+
+    runner = threading.Thread(target=run, daemon=True)
+    start = time.monotonic()
+    runner.start()
+    runner.join(timeout=30)
+    stop.set()
+    listener.close()
+    worker.stop()
+    assert not runner.is_alive(), "worker reconnect-spun forever"
+    assert isinstance(outcome[0], DistError)
+    assert "flapping" in str(outcome[0])
+    # Backoff means the give-up took at least max_retries * retry_delay.
+    assert time.monotonic() - start >= 3 * 0.05
+
+
+def test_duplicate_live_batch_id_rejected(broker):
+    """Resubmitting a batch_id that is still live must be rejected, not
+    silently replace the first batch (stranding its client forever)."""
+    conn, _welcome = dial(("127.0.0.1", broker.port), role="client",
+                          timeout=5)
+    try:
+        jobs = [{"seq": 0, "fingerprint": "fp-dup",
+                 "obligation": obligation_to_wire(_toy_obligations(1)[0])}]
+        # No workers attached: the first submission stays queued (live).
+        conn.send({"type": "submit", "batch_id": "dup", "jobs": jobs})
+        assert _wait_for(lambda: broker.snapshot()["batches"] == 1)
+        conn.send({"type": "submit", "batch_id": "dup", "jobs": jobs})
+        reply = conn.recv()
+        assert reply["type"] == "error"
+        assert "duplicate" in reply["reason"]
+        assert broker.snapshot()["batches"] == 1
+    finally:
+        conn.close()
+
+
+def test_snapshot_queue_depth_skips_dead_batches():
+    """Queue entries of cancelled/dropped batches drain lazily; the
+    snapshot must not count them as pending work."""
+    from repro.dist import broker as broker_mod
+
+    instance = Broker(port=0)
+    for batch_id in ("live", "dead"):
+        batch = broker_mod._Batch(batch_id, conn=None)
+        for seq in range(3):
+            job = broker_mod._Job(batch_id, seq, {"name": "j"},
+                                  f"fp-{batch_id}-{seq}")
+            batch.jobs[seq] = job
+            instance._batches[batch_id] = batch
+            instance._queue.append(job)
+    instance._cancel("dead")
+    assert len(instance._queue) == 6       # stale entries still queued
+    assert instance.snapshot()["queued"] == 3   # but not reported
+
+
+def test_priority_batches_dispatch_first():
+    """Higher-priority batches dispatch before earlier-submitted lower
+    ones; within a priority level, submission order (FIFO)."""
+    from repro.dist import broker as broker_mod
+
+    instance = Broker(port=0)
+    order = []
+    for batch_id, priority in (("bg1", 0), ("fg", 5), ("bg2", 0)):
+        batch = broker_mod._Batch(batch_id, conn=None, priority=priority)
+        job = broker_mod._Job(batch_id, 0, {"name": batch_id},
+                              f"fp-{batch_id}", priority=priority)
+        batch.jobs[0] = job
+        instance._batches[batch_id] = batch
+        instance._queue.append(job)
+    puller = broker_mod._Worker("w1", "w1", conn=None)
+    instance._workers["w1"] = puller
+    for _ in range(3):
+        reply = instance._dispatch(puller)
+        assert reply["type"] == "job"
+        order.append(reply["batch_id"])
+    assert order == ["fg", "bg1", "bg2"]
+
+
+# ----------------------------------------------------------------------
+# Durability: journals, recovery, restart mid-sweep
+# ----------------------------------------------------------------------
+def test_durable_broker_recovers_journaled_queue(tmp_path):
+    """A durable broker killed with queued work re-adopts it on restart:
+    the orphan jobs are solved into the memo, and a reconnecting
+    client's resubmission is answered without re-solving."""
+    cache = str(tmp_path / "store")
+    obligations = _toy_obligations(3)
+    first = Broker(port=0, cache_dir=cache).start()
+    try:
+        conn, _welcome = dial(("127.0.0.1", first.port), role="client",
+                              timeout=5)
+        conn.send({"type": "submit", "batch_id": "sweep1", "jobs": [
+            {"seq": i, "fingerprint": ob.fingerprint(),
+             "obligation": obligation_to_wire(ob)}
+            for i, ob in enumerate(obligations)
+        ]})
+        assert _wait_for(lambda: first.snapshot()["batches"] == 1)
+    finally:
+        # Hard stop with the client still attached: queued work must
+        # survive in the journal, not in any socket.
+        first.stop()
+    second = Broker(port=0, cache_dir=cache).start()
+    try:
+        snap = second.snapshot()
+        assert snap["batches"] == 1 and snap["queued"] == 3
+        process = _spawn_worker(second.address)
+        try:
+            # The orphan batch solves into the durable memo and retires.
+            assert _wait_for(lambda: second.snapshot()["memo"] == 3)
+            assert _wait_for(lambda: second.snapshot()["batches"] == 0)
+            with RemotePool(second.address) as pool:
+                verdicts = pool.solve_ordered(obligations)
+            expected = [solve_obligation(ob) for ob in obligations]
+            assert [v.status for v in verdicts] == \
+                [v.status for v in expected]
+            assert [v.fingerprint for v in verdicts] == \
+                [v.fingerprint for v in expected]
+        finally:
+            process.terminate()
+            process.join(timeout=5)
+    finally:
+        second.stop()
+
+
+def test_broker_restart_mid_sweep_matches_sequential_all_variants(tmp_path):
+    """The durable-restart acceptance differential: a broker SIGKILLed
+    (stopped hard) mid-sweep and restarted on the same port and cache
+    directory must let the client's sweep complete with verdict/alert
+    signatures bit-identical to the sequential oracle, on all four
+    design variants."""
+    cache = str(tmp_path / "store")
+    first = Broker(port=0, heartbeat_timeout=10.0, cache_dir=cache).start()
+    port = first.port
+    procs = [_spawn_worker(first.address, solve_delay=0.05)
+             for _ in range(2)]
+    pool = RemotePool(first.address, reconnect_retries=120,
+                      reconnect_delay=0.25)
+    engine = ProofEngine(pool=pool)
+    signatures = {}
+    failure = []
+
+    def sweep():
+        try:
+            for variant in VARIANTS:
+                signatures[variant] = _methodology_signature(
+                    _run_methodology(variant, engine))
+        except Exception as exc:   # surfaced by the final assert
+            failure.append(exc)
+
+    runner = threading.Thread(target=sweep, daemon=True)
+    runner.start()
+    # Let the sweep get properly underway, then yank the broker.
+    assert _wait_for(lambda: first.snapshot()["memo"] >= 2, timeout=120)
+    first.stop()
+    # The whole broker host goes down: its workers die with it.  (They
+    # must also die in this harness — forked workers inherit the
+    # listening socket, which would keep the port bound.)
+    for process in procs:
+        process.terminate()
+    for process in procs:
+        process.join(timeout=5)
+    second = Broker(port=port, heartbeat_timeout=10.0,
+                    cache_dir=cache).start()
+    procs.append(_spawn_worker(second.address))
+    try:
+        runner.join(timeout=600)
+        assert not runner.is_alive(), "sweep never completed after restart"
+        assert not failure, f"sweep failed after restart: {failure[0]}"
+        for variant in VARIANTS:
+            sequential = _methodology_signature(
+                _run_methodology(variant, ProofEngine(jobs=1)))
+            assert signatures[variant] == sequential, variant
+    finally:
+        engine.close()
+        for process in procs:
+            if process.is_alive():
+                process.terminate()
+        for process in procs:
+            process.join(timeout=5)
+        second.stop()
+
+
+# ----------------------------------------------------------------------
+# Cooperative preemption
+# ----------------------------------------------------------------------
+def _pigeonhole_obligation(pigeons=8):
+    """PHP(n, n-1): small to ship, thousands of conflicts to refute —
+    long enough for a cancel push to land mid-solve."""
+    holes = pigeons - 1
+
+    def var(i, j):
+        return i * holes + j + 1
+
+    clauses = [[var(i, j) for j in range(holes)] for i in range(pigeons)]
+    for j in range(holes):
+        for i1 in range(pigeons):
+            for i2 in range(i1 + 1, pigeons):
+                clauses.append([-var(i1, j), -var(i2, j)])
+    return ProofObligation(name="php", nvars=pigeons * holes,
+                           clauses=clauses, assumptions=[],
+                           simplify=False)
+
+
+def test_cancel_push_preempts_running_solve():
+    """Cancelling a batch mid-solve must abort the worker's CDCL search
+    (cooperative preemption), not let it run the doomed proof to
+    completion."""
+    from repro.dist.worker import Worker
+
+    instance = Broker(port=0, heartbeat_timeout=30.0).start()
+    worker = Worker(instance.address, poll_interval=0.01)
+    runner = threading.Thread(target=worker.run, daemon=True)
+    runner.start()
+    conn = None
+    try:
+        conn, _welcome = dial(("127.0.0.1", instance.port), role="client",
+                              timeout=5)
+        hard = _pigeonhole_obligation()
+        conn.send({"type": "submit", "batch_id": "philong", "jobs": [
+            {"seq": 0, "fingerprint": hard.fingerprint(),
+             "obligation": obligation_to_wire(hard)}]})
+        assert _wait_for(
+            lambda: any(w["inflight"] for w in
+                        instance.snapshot()["workers"]))
+        conn.send({"type": "cancel", "batch_id": "philong"})
+        assert conn.recv()["type"] == "cancelled"
+        assert _wait_for(lambda: worker.cancelled >= 1, timeout=60), \
+            "solve ran to completion despite the cancel push"
+        assert worker.solved == 0
+    finally:
+        if conn is not None:
+            conn.close()
+        worker.stop()
+        runner.join(timeout=10)
+        instance.stop()
+
+
+# ----------------------------------------------------------------------
+# HTTP/JSON job API
+# ----------------------------------------------------------------------
+def _http(method, url, payload=None):
+    import urllib.error
+    import urllib.request
+
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(url, data=data, method=method)
+    try:
+        with urllib.request.urlopen(request, timeout=15) as reply:
+            return reply.status, json.loads(reply.read().decode())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode())
+
+
+def test_http_job_lifecycle(tmp_path):
+    """submit -> poll -> result over the JSON job API, executed on the
+    broker's own worker fleet."""
+    instance = Broker(port=0, http_port=0,
+                      cache_dir=str(tmp_path / "store")).start()
+    base = f"http://127.0.0.1:{instance.http_port}"
+    process = _spawn_worker(instance.address)
+    try:
+        status, health = _http("GET", base + "/healthz")
+        assert status == 200 and health["status"] == "ok"
+        assert health["durable"] is True
+        status, reply = _http("POST", base + "/jobs",
+                              {"kind": "check", "variant": "secure",
+                               "k": 1, "priority": 2})
+        assert status == 202
+        job_id = reply["id"]
+        assert reply["status"] in ("queued", "running")
+
+        def finished():
+            code, state = _http("GET", f"{base}/jobs/{job_id}")
+            assert code == 200
+            return state["status"] in ("done", "failed")
+
+        assert _wait_for(finished, timeout=300)
+        status, state = _http("GET", f"{base}/jobs/{job_id}")
+        assert state["status"] == "done"
+        assert state["priority"] == 2
+        assert state["progress"]["obligations_completed"] >= 1
+        status, result = _http("GET", f"{base}/jobs/{job_id}/result")
+        assert status == 200
+        # The job API's answer must be bit-identical to the same check
+        # run on a local engine (solving is pure, the fleet is an
+        # implementation detail).
+        from repro.core import UpecChecker, UpecModel
+
+        soc = build_soc(SocConfig.secure(**FORMAL_CONFIG_KWARGS))
+        oracle = UpecChecker(UpecModel(soc, SCENARIO),
+                             engine=ProofEngine()).check(k=1).to_dict()
+        for key in ("status", "k", "alert", "checked_frames"):
+            assert result["result"][key] == oracle[key], key
+    finally:
+        process.terminate()
+        process.join(timeout=5)
+        instance.stop()
+
+
+def test_http_rejects_bad_requests():
+    instance = Broker(port=0, http_port=0).start()
+    base = f"http://127.0.0.1:{instance.http_port}"
+    try:
+        import urllib.error
+        import urllib.request
+
+        # Invalid JSON body.
+        request = urllib.request.Request(base + "/jobs", data=b"{nope",
+                                         method="POST")
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            urllib.request.urlopen(request, timeout=15)
+        assert exc_info.value.code == 400
+        # Unknown variant / bad k.
+        status, body = _http("POST", base + "/jobs",
+                             {"variant": "nonesuch"})
+        assert status == 400 and "variant" in body["error"]
+        status, body = _http("POST", base + "/jobs",
+                             {"variant": "secure", "k": 0})
+        assert status == 400 and "k" in body["error"]
+        # Unknown job / endpoint, wrong method.
+        status, _body = _http("GET", base + "/jobs/job-unknown")
+        assert status == 404
+        status, _body = _http("POST", base + "/healthz")
+        assert status == 405
+        status, _body = _http("GET", base + "/nothing")
+        assert status == 404
+    finally:
+        instance.stop()
+
+
+def test_http_result_of_unfinished_job_conflicts():
+    """Asking for the result of a job still queued/running is a 409,
+    not a hang or a bogus 200."""
+    instance = Broker(port=0, http_port=0).start()   # no workers attached
+    base = f"http://127.0.0.1:{instance.http_port}"
+    try:
+        status, reply = _http("POST", base + "/jobs",
+                              {"kind": "check", "variant": "secure",
+                               "k": 2})
+        assert status == 202
+        status, body = _http("GET", f"{base}/jobs/{reply['id']}/result")
+        assert status == 409
+        assert body["status"] in ("queued", "running")
     finally:
         instance.stop()

@@ -231,3 +231,33 @@ def test_solver_stable_across_repeat_solves(problem):
     solver = make_solver(nvars, clauses)
     first = solver.solve()
     assert solver.solve() is first
+
+
+def test_cancel_check_aborts_search():
+    from repro.formal.solver import CANCEL_CHECK_EVERY
+
+    # PHP(8,7): thousands of conflicts to refute, so the poll (every
+    # CANCEL_CHECK_EVERY conflicts) is guaranteed to fire.
+    holes = 7
+
+    def var(i, j):
+        return i * holes + j + 1
+
+    clauses = [[var(i, j) for j in range(holes)] for i in range(8)]
+    for j in range(holes):
+        for i1 in range(8):
+            for i2 in range(i1 + 1, 8):
+                clauses.append([-var(i1, j), -var(i2, j)])
+    solver = make_solver(8 * holes, clauses)
+    assert solver.solve(cancel_check=lambda: True) is None
+    # The abort happens at the first poll, not after the full refutation.
+    assert solver.stats.conflicts <= 2 * CANCEL_CHECK_EVERY
+    # A cancelled solver is reusable (backtracked to level 0).
+    assert solver.solve(conflict_limit=1) is None
+
+
+def test_cancel_check_false_does_not_change_verdicts():
+    solver = make_solver(2, [[1, 2], [-1, 2]])
+    assert solver.solve(cancel_check=lambda: False) is True
+    unsat = make_solver(1, [[1], [-1]])
+    assert unsat.solve(cancel_check=lambda: False) is False
