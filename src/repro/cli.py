@@ -9,6 +9,8 @@ Commands
 ``attack``       run the Orc or Meltdown-style attack on the simulator
 ``serve``        run a distributed proof-service broker
 ``worker``       run a proof-service worker against a broker
+``chaos-proxy``  run a seeded fault-injecting TCP proxy in front of a
+                 broker (resilience testing; see ``repro.dist.chaos``)
 
 The solver-backed commands (``check``, ``methodology``, ``sweep``)
 uniformly accept:
@@ -27,6 +29,9 @@ uniformly accept:
 ``--cache-dir DIR``   persistent proof cache (re-runs skip proved
                       obligations)
 ``--conflict-limit``  per-query conflict budget
+``--wall-budget S``   per-obligation wall-clock budget in seconds
+                      (exhaustion yields a distinguishable "timeout"
+                      outcome instead of an open-ended solve)
 ``--connect H:P``     shard proof obligations over a running broker
                       (``repro serve``) and its workers instead of a
                       local pool
@@ -99,6 +104,11 @@ def _add_solver_flags(parser: argparse.ArgumentParser) -> None:
                              help="force unsplit frame obligations even "
                                   "when REPRO_ENGINE_SPLIT=1")
     parser.add_argument("--conflict-limit", type=int, default=None)
+    parser.add_argument("--wall-budget", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-obligation wall-clock budget; an "
+                             "exhausted budget reports 'timeout' instead "
+                             "of solving open-endedly")
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker processes for proof obligations "
                              "(default: $REPRO_ENGINE_JOBS or in-process)")
@@ -210,7 +220,8 @@ def cmd_check(args) -> int:
     result = UpecChecker(model, engine=engine,
                          slice=_slice_from_args(args),
                          split=_split_from_args(args)).check(
-        k=args.k, conflict_limit=args.conflict_limit
+        k=args.k, conflict_limit=args.conflict_limit,
+        wall_budget=args.wall_budget,
     )
     human = f"scenario: {scenario.describe()}\n{result.describe()}"
     if args.stats and not args.json:
@@ -233,6 +244,7 @@ def cmd_methodology(args) -> int:
         engine=_engine_from_args(args),
         slice=_slice_from_args(args),
         split=_split_from_args(args),
+        wall_budget=args.wall_budget,
     ).run(k=args.k)
     human = result.describe()
     if args.stats and not args.json:
@@ -275,6 +287,7 @@ def cmd_sweep(args) -> int:
         slice=_slice_from_args(args),
         connect=connect,
         split=_split_from_args(args),
+        wall_budget=args.wall_budget,
     )
     result = sweep.run(jobs=jobs)
     human = format_table(
@@ -351,11 +364,15 @@ def cmd_serve(args) -> int:
     if args.durable and not args.cache_dir:
         raise UsageError("--durable requires --cache-dir: the queue "
                          "journals and verdict store live there")
+    if args.max_queued is not None and args.max_queued < 1:
+        raise UsageError("--max-queued must be a positive integer "
+                         f"(got {args.max_queued})")
     broker = Broker(
         host=args.host, port=args.port,
         heartbeat_timeout=args.heartbeat_timeout,
         http_port=args.http_port,
         cache_dir=args.cache_dir if args.durable else None,
+        max_queued=args.max_queued,
     )
     try:
         broker.start()
@@ -438,6 +455,8 @@ def cmd_submit(args) -> int:
     }
     if args.conflict_limit is not None:
         spec["conflict_limit"] = args.conflict_limit
+    if args.wall_budget is not None:
+        spec["wall_budget"] = args.wall_budget
     status, reply = _http_json(base + "/jobs", payload=spec)
     if status != 202:
         raise DistError(f"broker rejected the job (HTTP {status}): "
@@ -449,14 +468,63 @@ def cmd_submit(args) -> int:
     # Progress goes to stderr so `repro submit --wait > result.json`
     # pipes clean JSON.
     print(f"submitted {job_id}; polling...", file=sys.stderr, flush=True)
+    deadline = (time.monotonic() + args.wait_timeout
+                if args.wait_timeout is not None else None)
     while True:
         status, state = _http_json(f"{base}/jobs/{job_id}")
         if status == 200 and state.get("status") in ("done", "failed"):
             break
+        if deadline is not None and time.monotonic() >= deadline:
+            # A hung broker (or a job stuck behind a dead fleet) must
+            # not pin this client forever: give up loudly, leaving the
+            # job id so the caller can re-poll with `repro status`.
+            raise DistError(
+                f"job {job_id} did not finish within "
+                f"--wait-timeout {args.wait_timeout:.0f}s (last status: "
+                f"{state.get('status', 'unknown')!r}); it may still "
+                f"complete — check with: repro status --api {args.api} "
+                f"--job {job_id}")
         time.sleep(args.poll_interval)
     status, result = _http_json(f"{base}/jobs/{job_id}/result")
     print(json.dumps(result, indent=2))
     return 0 if status == 200 else 69
+
+
+def cmd_chaos_proxy(args) -> int:
+    _validate_address(args.listen)
+    _validate_address(args.upstream)
+    from repro.dist.chaos import ChaosPlan, ChaosProxy
+    from repro.dist.protocol import parse_address
+
+    plan = ChaosPlan.from_env(seed=args.seed)
+    for name, value in (("reset", args.reset), ("stall", args.stall),
+                        ("truncate", args.truncate),
+                        ("duplicate", args.duplicate),
+                        ("bitflip", args.bitflip)):
+        if value is not None:
+            setattr(plan, f"{name}_rate", value)
+    if args.stall_max is not None:
+        plan.stall_max_s = args.stall_max
+    proxy = ChaosProxy(parse_address(args.listen),
+                       parse_address(args.upstream), plan=plan)
+    try:
+        proxy.start()
+    except OSError as exc:
+        raise DistError(
+            f"cannot listen on {args.listen}: {exc}") from exc
+    print(f"chaos proxy {proxy.address} -> "
+          f"{args.upstream} (plan: {json.dumps(plan.describe())})",
+          flush=True)
+    import time
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        proxy.stop()
+        print(json.dumps(proxy.stats(), indent=2), file=sys.stderr)
+    return 0
 
 
 def cmd_status(args) -> int:
@@ -538,6 +606,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--heartbeat-timeout", type=float, default=10.0,
                          help="seconds of silence before a worker is "
                               "declared dead and its work requeued")
+    p_serve.add_argument("--max-queued", type=int, default=None,
+                         metavar="N",
+                         help="bound the live obligation queue: past N "
+                              "queued, submits get a retry-after refusal "
+                              "(clients back off) and POST /jobs returns "
+                              "503 (default: unbounded)")
     p_serve.set_defaults(func=cmd_serve)
 
     p_worker = sub.add_parser(
@@ -573,12 +647,55 @@ def build_parser() -> argparse.ArgumentParser:
                           help="scheduling priority (higher dispatches "
                                "first; FIFO within a level)")
     p_submit.add_argument("--conflict-limit", type=int, default=None)
+    p_submit.add_argument("--wall-budget", type=float, default=None,
+                          metavar="SECONDS",
+                          help="per-obligation wall-clock budget for the "
+                               "job (exhaustion yields 'timeout')")
     p_submit.add_argument("--wait", action="store_true",
                           help="poll until the job finishes and print "
                                "its result")
     p_submit.add_argument("--poll-interval", type=float, default=1.0,
                           help="seconds between --wait polls")
+    p_submit.add_argument("--wait-timeout", type=float, default=None,
+                          metavar="SECONDS",
+                          help="give up on --wait after this long (exit "
+                               "69; the job keeps running broker-side "
+                               "and stays queryable via 'repro status')")
     p_submit.set_defaults(func=cmd_submit)
+
+    p_chaos = sub.add_parser(
+        "chaos-proxy",
+        help="seeded fault-injecting TCP proxy in front of a broker",
+        description="Run a frame-aware chaos proxy: point workers and "
+                    "clients at --listen instead of the broker and the "
+                    "proxy injects a reproducible, seed-determined "
+                    "schedule of resets, stalls, truncated/duplicated "
+                    "frames and payload bit-flips.  Rates default to "
+                    "the REPRO_CHAOS_* environment knobs; flags win.",
+    )
+    p_chaos.add_argument("--listen", required=True, metavar="HOST:PORT",
+                         help="address to accept client/worker dials on")
+    p_chaos.add_argument("--upstream", required=True, metavar="HOST:PORT",
+                         help="the real broker address")
+    p_chaos.add_argument("--seed", type=int, default=None,
+                         help="fault-schedule seed "
+                              "(default: $REPRO_CHAOS_SEED or 0)")
+    p_chaos.add_argument("--reset", type=float, default=None,
+                         metavar="P", help="per-frame reset probability")
+    p_chaos.add_argument("--stall", type=float, default=None,
+                         metavar="P", help="per-frame stall probability")
+    p_chaos.add_argument("--stall-max", type=float, default=None,
+                         metavar="S", help="longest injected stall")
+    p_chaos.add_argument("--truncate", type=float, default=None,
+                         metavar="P",
+                         help="per-frame truncation probability")
+    p_chaos.add_argument("--duplicate", type=float, default=None,
+                         metavar="P",
+                         help="per-frame duplication probability")
+    p_chaos.add_argument("--bitflip", type=float, default=None,
+                         metavar="P",
+                         help="per-frame payload bit-flip probability")
+    p_chaos.set_defaults(func=cmd_chaos_proxy)
 
     p_status = sub.add_parser(
         "status", help="query a broker's job API (/healthz or one job)"

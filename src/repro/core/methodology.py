@@ -40,6 +40,9 @@ class MethodologyResult:
     runtime_s: float = 0.0
     removed_regs: List[str] = field(default_factory=list)
     stats: Dict[str, int] = field(default_factory=dict)
+    #: Why an UNDECIDED run stopped (conflict limit, wall-budget
+    #: timeout, poisoned obligation, iteration cap) — empty otherwise.
+    reason: str = ""
 
     @property
     def p_alert_reg_names(self) -> List[str]:
@@ -53,7 +56,8 @@ class MethodologyResult:
     def describe(self) -> str:
         lines = [
             f"verdict: {self.verdict} (k={self.k}, "
-            f"{self.iterations} iterations, {self.runtime_s:.2f}s)",
+            f"{self.iterations} iterations, {self.runtime_s:.2f}s)"
+            + (f" — {self.reason}" if self.reason else ""),
             f"P-alerts: {len(self.p_alerts)} "
             f"({len(self.p_alert_reg_names)} registers)",
         ]
@@ -74,6 +78,7 @@ class MethodologyResult:
             "runtime_s": self.runtime_s,
             "removed_regs": list(self.removed_regs),
             "stats": dict(self.stats),
+            "reason": self.reason,
         }
 
 
@@ -98,10 +103,15 @@ class UpecMethodology:
         cache_dir: Optional[str] = None,
         slice: Optional[bool] = None,
         split: Optional[bool] = None,
+        wall_budget: Optional[float] = None,
     ) -> None:
         self.soc = soc
         self.scenario = scenario
         self.conflict_limit = conflict_limit
+        #: Per-obligation wall-clock budget in seconds (None = none):
+        #: a frame that exhausts it yields a distinguishable "timeout"
+        #: verdict instead of an open-ended solve.
+        self.wall_budget = wall_budget
         self.simplify = simplify
         self.slice = slice
         self.split = split
@@ -146,6 +156,7 @@ class UpecMethodology:
             result = checker.check(
                 k, commitment=commitment, start_frame=start_frame,
                 conflict_limit=self.conflict_limit,
+                wall_budget=self.wall_budget,
             )
             if result.status == INCONCLUSIVE:
                 return MethodologyResult(
@@ -153,6 +164,7 @@ class UpecMethodology:
                     iterations=iterations,
                     runtime_s=time.perf_counter() - start,
                     removed_regs=removed, stats=self._stats(model),
+                    reason=result.reason or "conflict limit",
                 )
             if result.status != ALERT:
                 return MethodologyResult(
@@ -180,4 +192,5 @@ class UpecMethodology:
             verdict=UNDECIDED, k=k, p_alerts=p_alerts,
             iterations=iterations, runtime_s=time.perf_counter() - start,
             removed_regs=removed, stats=self._stats(model),
+            reason="iteration cap reached",
         )

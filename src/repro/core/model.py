@@ -232,6 +232,7 @@ class UpecModel:
         frame: int,
         conflict_limit: Optional[int] = None,
         slice: Optional[bool] = None,
+        wall_budget: Optional[float] = None,
     ):
         """Export the frame's commitment check as a self-contained
         :class:`repro.engine.obligation.ProofObligation`.
@@ -254,6 +255,7 @@ class UpecModel:
             name=f"upec[{self.soc.config.name}]@t{frame}",
             assumptions=[target],
             conflict_limit=conflict_limit,
+            wall_budget=wall_budget,
             meta={
                 "kind": "upec-frame",
                 "design": self.soc.config.name,
@@ -271,6 +273,7 @@ class UpecModel:
         frame: int,
         conflict_limit: Optional[int] = None,
         slice: Optional[bool] = None,
+        wall_budget: Optional[float] = None,
     ):
         """Export the frame's commitment check as independent
         per-register(-group) obligations (see :mod:`repro.engine.split`).
@@ -293,7 +296,7 @@ class UpecModel:
         from repro.engine.split import FrameSplit, cone_vars, group_cones
 
         full = self.frame_obligation(regs, frame, conflict_limit,
-                                     slice=slice)
+                                     slice=slice, wall_budget=wall_budget)
         if full is None:
             return None
         context = self.context
@@ -338,6 +341,7 @@ class UpecModel:
                 assumptions=[members[i][0] for i in group],
                 disjunction=True,
                 conflict_limit=conflict_limit,
+                wall_budget=wall_budget,
                 meta={
                     "kind": "upec-frame-split",
                     "design": self.soc.config.name,

@@ -38,6 +38,11 @@ class UpecCheckResult:
     runtime_s: float = 0.0
     checked_frames: int = 0
     stats: Dict[str, int] = field(default_factory=dict)
+    #: Why an INCONCLUSIVE check stopped: "conflict limit", "wall budget
+    #: exhausted (timeout)" or "obligation poisoned (...)" — callers can
+    #: tell a budget expiry (raise the budget, retry) from a poisoned
+    #: obligation (inspect the failure reports) without re-solving.
+    reason: str = ""
 
     @property
     def proved(self) -> bool:
@@ -47,7 +52,8 @@ class UpecCheckResult:
         if self.status == PROVED:
             return f"proved up to k={self.k} ({self.runtime_s:.2f}s)"
         if self.status == INCONCLUSIVE:
-            return f"inconclusive at k={self.k} (conflict limit)"
+            return (f"inconclusive at k={self.k} "
+                    f"({self.reason or 'conflict limit'})")
         return f"{self.alert.describe()} ({self.runtime_s:.2f}s)"
 
     def to_dict(self) -> Dict:
@@ -58,7 +64,19 @@ class UpecCheckResult:
             "runtime_s": self.runtime_s,
             "checked_frames": self.checked_frames,
             "stats": dict(self.stats),
+            "reason": self.reason,
         }
+
+
+def _inconclusive_reason(verdict) -> str:
+    """Human-readable cause of a non-definite engine verdict."""
+    from repro.engine.obligation import POISONED, TIMEOUT
+
+    if verdict.status == TIMEOUT:
+        return "wall budget exhausted (timeout)"
+    if verdict.status == POISONED:
+        return "obligation poisoned (repeated worker failures)"
+    return "conflict limit"
 
 
 class UpecChecker:
@@ -108,7 +126,8 @@ class UpecChecker:
 
     def _frame_split(self, regs: Sequence[Reg], t: int,
                      conflict_limit: Optional[int], split: bool,
-                     slice: Optional[bool] = None):
+                     slice: Optional[bool] = None,
+                     wall_budget: Optional[float] = None):
         """One frame's check as a FrameSplit (or None when structurally
         proved) — a single-obligation degenerate split in unsplit mode,
         so the engine paths walk one uniform shape."""
@@ -117,10 +136,12 @@ class UpecChecker:
         model = self.model
         if split:
             return model.frame_split_obligations(
-                regs, t, conflict_limit, slice=slice
+                regs, t, conflict_limit, slice=slice,
+                wall_budget=wall_budget,
             )
         obligation = model.frame_obligation(regs, t, conflict_limit,
-                                            slice=slice)
+                                            slice=slice,
+                                            wall_budget=wall_budget)
         if obligation is None:
             return None
         return FrameSplit(
@@ -137,8 +158,15 @@ class UpecChecker:
         start_frame: int = 1,
         conflict_limit: Optional[int] = None,
         witness_signals: bool = True,
+        wall_budget: Optional[float] = None,
     ) -> UpecCheckResult:
-        """Check frames ``start_frame``..``k`` against the commitment."""
+        """Check frames ``start_frame``..``k`` against the commitment.
+
+        ``wall_budget`` bounds each frame's solve in wall-clock seconds
+        (per obligation, the same unit the distributed broker enforces);
+        an exhausted budget yields a distinguishable INCONCLUSIVE result
+        (``reason`` says "timeout") instead of an open-ended solve.
+        """
         if k < start_frame:
             raise UpecError("window must include at least one frame")
         model = self.model
@@ -147,7 +175,8 @@ class UpecChecker:
         start = time.perf_counter()
         if self.engine is not None:
             return self._check_engine(
-                k, regs, start_frame, conflict_limit, witness_signals, start
+                k, regs, start_frame, conflict_limit, witness_signals,
+                start, wall_budget,
             )
         checked = 0
         for t in range(start_frame, k + 1):
@@ -158,15 +187,23 @@ class UpecChecker:
                 # commitment cannot differ at this frame (no SAT needed).
                 checked += 1
                 continue
+            deadline = None
+            if wall_budget is not None and wall_budget > 0:
+                deadline = time.monotonic() + wall_budget
             outcome = model.context.solve(
-                assumptions=[target], conflict_limit=conflict_limit
+                assumptions=[target], conflict_limit=conflict_limit,
+                deadline=deadline,
             )
             checked += 1
             if outcome is None:
+                timed_out = getattr(model.context.solver, "stop_reason",
+                                    None) == "deadline"
                 return UpecCheckResult(
                     status=INCONCLUSIVE, k=t,
                     runtime_s=time.perf_counter() - start,
                     checked_frames=checked, stats=model.stats(),
+                    reason="wall budget exhausted (timeout)" if timed_out
+                    else "conflict limit",
                 )
             if outcome:
                 diffs = model.differing_regs(t, regs)
@@ -195,6 +232,7 @@ class UpecChecker:
         conflict_limit: Optional[int],
         witness_signals: bool,
         start: float,
+        wall_budget: Optional[float] = None,
     ) -> UpecCheckResult:
         """Obligation-based frame checks via the scheduler/cache engine.
 
@@ -224,12 +262,12 @@ class UpecChecker:
         if self.engine.jobs == 1 and self._slice_enabled():
             return self._check_engine_lazy(
                 k, regs, start_frame, conflict_limit, witness_signals,
-                start, since, split,
+                start, since, split, wall_budget,
             )
         frames = list(range(start_frame, k + 1))
         batches = [
             self._frame_split(regs, t, conflict_limit, split,
-                              slice=self.slice)
+                              slice=self.slice, wall_budget=wall_budget)
             for t in frames
         ]
         pending = [ob for fs in batches if fs is not None
@@ -254,6 +292,7 @@ class UpecChecker:
                         runtime_s=time.perf_counter() - start,
                         checked_frames=checked,
                         stats=self._engine_stats(since),
+                        reason=_inconclusive_reason(verdict),
                     )
                 if fs.full:
                     return self._alert_result(
@@ -278,6 +317,7 @@ class UpecChecker:
         start: float,
         since: Dict[str, int],
         split: bool = False,
+        wall_budget: Optional[float] = None,
     ) -> UpecCheckResult:
         """Frame-at-a-time export and solve: an alert at frame ``t``
         means frames ``t+1..k`` are never unrolled or exported.
@@ -288,7 +328,7 @@ class UpecChecker:
         checked = 0
         for t in range(start_frame, k + 1):
             fs = self._frame_split(regs, t, conflict_limit, split,
-                                   slice=True)
+                                   slice=True, wall_budget=wall_budget)
             checked += 1
             if fs is None:
                 continue
@@ -304,6 +344,7 @@ class UpecChecker:
                         runtime_s=time.perf_counter() - start,
                         checked_frames=checked,
                         stats=self._engine_stats(since),
+                        reason=_inconclusive_reason(verdict),
                     )
                 if fs.full:
                     return self._alert_result(
@@ -345,6 +386,7 @@ class UpecChecker:
                 status=INCONCLUSIVE, k=t,
                 runtime_s=time.perf_counter() - start,
                 checked_frames=checked, stats=self._engine_stats(since),
+                reason=_inconclusive_reason(verdict),
             )
         return self._alert_result(
             fs.full_obligation, verdict, t, regs, witness_signals,

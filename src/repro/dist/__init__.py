@@ -26,6 +26,7 @@ broker's fault recovery can change wall-clock, never outcomes.
 """
 
 from repro.dist.broker import Broker
+from repro.dist.chaos import ChaosPlan, ChaosProxy
 from repro.dist.protocol import (
     PROTO_VERSION,
     Connection,
@@ -41,6 +42,8 @@ from repro.dist.worker import Worker, run_worker
 __all__ = [
     "Broker",
     "CONNECT_ENV",
+    "ChaosPlan",
+    "ChaosProxy",
     "Connection",
     "PROTO_VERSION",
     "ProtocolError",

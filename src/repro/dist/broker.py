@@ -81,7 +81,7 @@ from repro.dist.protocol import (
     read_message,
 )
 from repro.engine.cache import ResultCache
-from repro.engine.obligation import UNKNOWN, Verdict
+from repro.engine.obligation import DEFINITE, POISONED, Verdict
 from repro.errors import DistError
 
 _JobKey = Tuple[str, int]          # (batch_id, seq)
@@ -99,13 +99,22 @@ _GOSSIP_KEEP = 16384
 _QUEUE_DIRNAME = "_queue"
 _JOBS_DIRNAME = "_jobs"
 
+#: Durable quarantine journal (under ``cache_dir``): fingerprints whose
+#: assignment killed/crashed enough distinct workers, with the workers'
+#: structured failure reports.  Rehydrated on restart so a poisoned
+#: obligation stays out of rotation across broker incarnations.
+_POISON_NAME = "_poison.json"
+
+#: ``retry_after`` hint (seconds) sent with a backpressure refusal.
+_RETRY_AFTER_S = 0.5
+
 #: Largest accepted HTTP request body.
 _HTTP_BODY_CAP = 1 << 20
 
 _HTTP_REASONS = {
     200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 409: "Conflict",
-    500: "Internal Server Error",
+    500: "Internal Server Error", 503: "Service Unavailable",
 }
 
 _JOB_KINDS = ("methodology", "check")
@@ -114,7 +123,7 @@ _SCENARIOS = ("cached", "uncached")
 
 class _Job:
     __slots__ = ("batch_id", "seq", "payload", "fingerprint", "attempts",
-                 "worker", "done", "priority")
+                 "worker", "done", "priority", "failures")
 
     def __init__(self, batch_id: str, seq: int, payload: Dict[str, Any],
                  fingerprint: str, priority: int = 0) -> None:
@@ -126,6 +135,9 @@ class _Job:
         self.attempts = 0
         self.worker: Optional[str] = None   # currently assigned worker id
         self.done = False
+        #: Structured failure reports accumulated across attempts:
+        #: worker deaths while assigned, and explicit crash reports.
+        self.failures: List[Dict[str, Any]] = []
 
 
 class _Batch:
@@ -310,6 +322,8 @@ class Broker:
         http_port: Optional[int] = None,
         cache_dir: Optional[str] = None,
         job_runners: int = 2,
+        max_queued: Optional[int] = None,
+        poison_threshold: Optional[int] = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -319,6 +333,14 @@ class Broker:
         self.http_port = http_port
         self.cache_dir = cache_dir
         self.job_runners = max(1, int(job_runners))
+        #: Ready-queue bound: past it, TCP submits get a ``busy``
+        #: (retry-after) refusal and HTTP submits a 503.  None = no cap.
+        self.max_queued = max_queued
+        #: Distinct workers an obligation may kill/crash before it is
+        #: quarantined with a ``poisoned`` verdict (default: the
+        #: requeue budget ``max_attempts``).
+        self.poison_threshold = poison_threshold \
+            if poison_threshold is not None else max_attempts
         self._queue = _JobQueue()
         self._batches: Dict[str, _Batch] = {}
         self._workers: Dict[str, _Worker] = {}
@@ -334,6 +356,10 @@ class Broker:
         self._store: Optional[ResultCache] = None
         self._queue_dir = ""
         self._jobs_dir = ""
+        #: fingerprint -> quarantine record ({"fingerprint",
+        #: "obligation", "failures", "workers"}).
+        self._poison: Dict[str, Dict[str, Any]] = {}
+        self._poison_path = ""
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
         self._server: Optional[asyncio.AbstractServer] = None
@@ -357,6 +383,7 @@ class Broker:
             self._store = ResultCache(self.cache_dir)
             self._queue_dir = os.path.join(self.cache_dir, _QUEUE_DIRNAME)
             self._jobs_dir = os.path.join(self.cache_dir, _JOBS_DIRNAME)
+            self._poison_path = os.path.join(self.cache_dir, _POISON_NAME)
             os.makedirs(self._queue_dir, exist_ok=True)
             os.makedirs(self._jobs_dir, exist_ok=True)
         self._loop = asyncio.new_event_loop()
@@ -495,7 +522,19 @@ class Broker:
             "memo": len(self._verdicts),
             "jobs": jobs,
             "durable": self.durable,
+            "poisoned": len(self._poison),
+            "max_queued": self.max_queued,
         }
+
+    def _queue_depth(self) -> int:
+        """Live ready-queue depth (stale entries of cancelled batches
+        drain lazily and do not count against the bound)."""
+        return sum(1 for job in self._queue
+                   if not job.done and self._batch_live(job.batch_id))
+
+    def _at_bound(self) -> bool:
+        return self.max_queued is not None \
+            and self._queue_depth() >= self.max_queued
 
     def _batch_live(self, batch_id: str) -> bool:
         batch = self._batches.get(batch_id)
@@ -651,6 +690,17 @@ class Broker:
                 self._deliver_verdict(batch, candidate.seq, memo)
                 self._retire_if_done(batch)
                 continue
+            poison = self._poison.get(candidate.fingerprint)
+            if poison is not None:
+                # Quarantined after this job was queued (a sibling copy
+                # burned the worker budget): never hand it to another
+                # worker — answer with the structured poisoned verdict.
+                candidate.done = True
+                candidate.worker = None
+                self._deliver_verdict(batch, candidate.seq,
+                                      self._poison_verdict(poison))
+                self._retire_if_done(batch)
+                continue
             job = candidate
             break
         if job is None:
@@ -667,8 +717,11 @@ class Broker:
         }
 
     def _memoize(self, verdict: Dict[str, Any]) -> None:
+        # Only definite (sat/unsat) verdicts enter the memo: unknown,
+        # timeout and poisoned are circumstances of one run, not facts
+        # about the formula.
         fingerprint = str(verdict.get("fingerprint", ""))
-        if not fingerprint or verdict.get("status") == UNKNOWN \
+        if not fingerprint or verdict.get("status") not in DEFINITE \
                 or fingerprint in self._verdicts:
             return
         self._verdicts[fingerprint] = verdict
@@ -706,10 +759,28 @@ class Broker:
             seq = int(message.get("seq", -1))
         except (TypeError, ValueError):
             return
+        worker.inflight.discard((batch_id, seq))
+        failure = message.get("failure")
         verdict = message.get("verdict")
+        if isinstance(failure, dict) and not isinstance(verdict, dict):
+            # The worker survived but the solve crashed: a structured
+            # failure report (exc_type/message/traceback).  Requeue the
+            # job unless its failure history crosses the poison line.
+            batch = self._batches.get(batch_id)
+            if batch is None or batch.cancelled:
+                return
+            job = batch.jobs.get(seq)
+            if job is None or job.done:
+                return
+            job.worker = None
+            if self._record_failure(job, worker, failure=failure) \
+                    or job.attempts >= self.max_attempts:
+                self._poison_job(batch, job)
+            else:
+                self._queue.appendleft(job)
+            return
         if not isinstance(verdict, dict):
             return
-        worker.inflight.discard((batch_id, seq))
         worker.solved += 1
         self._memoize(verdict)
         batch = self._batches.get(batch_id)
@@ -723,8 +794,92 @@ class Broker:
         self._deliver_verdict(batch, seq, verdict)
         self._retire_if_done(batch)
 
+    # ------------------------------------------------------------------
+    # Poison-obligation quarantine
+    # ------------------------------------------------------------------
+    def _record_failure(self, job: _Job, worker: _Worker,
+                        failure: Optional[Dict[str, Any]] = None,
+                        reason: str = "") -> bool:
+        """Append one structured failure to a job's history; True when
+        the history has crossed the poison threshold (failures from
+        ``poison_threshold`` *distinct* workers)."""
+        entry: Dict[str, Any] = {
+            "worker": worker.name,
+            "worker_id": worker.worker_id,
+            "exc_type": "WorkerDied",
+            "message": reason or "worker died while assigned",
+        }
+        if isinstance(failure, dict):
+            entry["exc_type"] = str(failure.get("exc_type") or "Exception")
+            entry["message"] = str(failure.get("message") or "")
+            trace = failure.get("traceback")
+            if trace:
+                entry["traceback"] = str(trace)
+        job.failures.append(entry)
+        distinct = {f.get("worker_id") for f in job.failures}
+        return len(distinct) >= self.poison_threshold
+
+    def _poison_verdict(self, record: Dict[str, Any]) -> Dict[str, Any]:
+        """The structured ``poisoned`` verdict of a quarantine record —
+        shaped like any other wire verdict, so clients consume it
+        through the normal path and checkers surface it as
+        inconclusive-with-reason instead of hanging or crashing."""
+        return {
+            "status": POISONED,
+            "obligation": str(record.get("obligation", "")),
+            "fingerprint": str(record.get("fingerprint", "")),
+            "model": None,
+            "nvars": 0,
+            "runtime_s": 0.0,
+            "stats": {},
+            "failures": [dict(f) for f in record.get("failures", ())],
+        }
+
+    def _poison_job(self, batch: _Batch, job: _Job) -> None:
+        """Pull an obligation from rotation: one pathological formula
+        must not consume the fleet.  The batch receives a ``poisoned``
+        verdict carrying the workers' failure reports, so the rest of
+        the sweep completes and the caller can triage."""
+        record = {
+            "fingerprint": job.fingerprint,
+            "obligation": str((job.payload or {}).get("name", "")
+                              or job.fingerprint),
+            "failures": [dict(f) for f in job.failures],
+            "workers": sorted({str(f.get("worker", ""))
+                               for f in job.failures}),
+        }
+        if job.fingerprint:
+            self._poison[job.fingerprint] = record
+            self._save_poison()
+        job.done = True
+        job.worker = None
+        self._deliver_verdict(batch, job.seq, self._poison_verdict(record))
+        self._retire_if_done(batch)
+
+    def _save_poison(self) -> None:
+        if self._poison_path:
+            _write_json(self._poison_path,
+                        {"poisoned": list(self._poison.values())})
+
+    def _load_poison(self) -> None:
+        if not self._poison_path:
+            return
+        try:
+            with open(self._poison_path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            records = list(data["poisoned"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return
+        for record in records:
+            if not isinstance(record, dict):
+                continue
+            fingerprint = str(record.get("fingerprint", ""))
+            if fingerprint:
+                self._poison[fingerprint] = dict(record)
+
     def _evict_worker(self, worker_id: str, reason: str) -> None:
-        """Forget a worker and requeue (or fail) its in-flight jobs."""
+        """Forget a worker and requeue (or quarantine) its in-flight
+        jobs."""
         worker = self._workers.pop(worker_id, None)
         if worker is None:
             return
@@ -736,18 +891,16 @@ class Broker:
             if job is None or job.done:
                 continue
             job.worker = None
-            if job.attempts >= self.max_attempts:
-                job.done = True
-                self._deliver_failure(
-                    batch, seq,
-                    f"gave up after {job.attempts} workers "
-                    f"(last: {worker.name} {reason})",
-                )
-                # The failure may close out the batch: retire it (and
-                # free its obligation payloads) exactly like a
-                # completed one, instead of leaking it until the
-                # client disconnects.
-                self._retire_if_done(batch)
+            crossed = self._record_failure(
+                job, worker,
+                reason=f"worker {worker.name} {reason} while assigned")
+            if crossed or job.attempts >= self.max_attempts:
+                # The assignment has now killed poison_threshold
+                # distinct workers (or burned the requeue budget):
+                # quarantine instead of cycling through the fleet
+                # forever.  Retiring the batch frees its payloads
+                # exactly like a completed one.
+                self._poison_job(batch, job)
             else:
                 # Front of its priority level: a requeued job is the
                 # oldest outstanding work and unblocks its batch
@@ -784,18 +937,6 @@ class Broker:
             except OSError:
                 self._drop_client(batch.batch_id)
 
-    def _deliver_failure(self, batch: _Batch, seq: int,
-                         reason: str) -> None:
-        if batch.deliver is not None:
-            batch.deliver(seq, None, reason)
-        elif batch.conn is not None:
-            try:
-                batch.conn.send({"type": "failed",
-                                 "batch_id": batch.batch_id,
-                                 "seq": seq, "reason": reason})
-            except OSError:
-                self._drop_client(batch.batch_id)
-
     def _retire_if_done(self, batch: _Batch) -> None:
         """Pop a fully-delivered (or fully-failed) batch, freeing its
         obligation payloads and its durable journal."""
@@ -820,20 +961,43 @@ class Broker:
                 reply: Optional[Dict[str, Any]] = None
                 if kind == "submit":
                     batch_id = str(message.get("batch_id"))
+                    jobs = message.get("jobs") or []
                     if self._batch_live(batch_id):
-                        # A second live batch under the same id would
-                        # cross-wire completions between the two job
-                        # sets (same-seq verdicts delivered against
-                        # the wrong payloads): reject it outright.
-                        reply = {"type": "error",
-                                 "reason": (f"duplicate batch_id "
-                                            f"{batch_id!r}: a batch with "
-                                            f"this id is still live")}
+                        live = self._batches.get(batch_id)
+                        if live is not None and live.conn is conn \
+                                and self._same_jobs(live, jobs):
+                            # A retransmitted duplicate of our own live
+                            # submit (a duplicated frame in flight):
+                            # the first copy is already being served —
+                            # ignore this one instead of erroring the
+                            # whole run out.
+                            reply = None
+                        else:
+                            # A *different* live batch under the same id
+                            # would cross-wire completions between the
+                            # two job sets (same-seq verdicts delivered
+                            # against the wrong payloads): reject it.
+                            reply = {"type": "error",
+                                     "reason": (f"duplicate batch_id "
+                                                f"{batch_id!r}: a batch "
+                                                f"with this id is still "
+                                                f"live")}
+                    elif self._at_bound():
+                        # Backpressure: past --max-queued the broker
+                        # refuses instead of buffering without bound;
+                        # RemotePool backs off and retries.
+                        reply = {
+                            "type": "busy",
+                            "batch_id": batch_id,
+                            "retry_after": _RETRY_AFTER_S,
+                            "reason": (f"queue is at its bound "
+                                       f"({self._queue_depth()} >= "
+                                       f"{self.max_queued} queued)"),
+                        }
                     else:
                         owned.add(batch_id)
                         try:
-                            self._submit(conn, batch_id,
-                                         message.get("jobs") or [],
+                            self._submit(conn, batch_id, jobs,
                                          priority=int(
                                              message.get("priority", 0)),
                                          )
@@ -866,9 +1030,23 @@ class Broker:
                 self._drop_client(batch_id)
             conn.close()
 
+    def _same_jobs(self, batch: _Batch, jobs: List[Dict[str, Any]]) -> bool:
+        """Whether an incoming submit's job set is identical (same
+        (seq, fingerprint) pairs) to a live batch's — the signature of a
+        retransmitted duplicate frame, as opposed to an id collision."""
+        try:
+            incoming = {(int(entry["seq"]),
+                         str(entry.get("fingerprint", "")))
+                        for entry in jobs}
+        except (KeyError, TypeError, ValueError):
+            return False
+        return incoming == {(job.seq, job.fingerprint)
+                            for job in batch.jobs.values()}
+
     def _submit(self, conn: Optional[_AsyncConn], batch_id: str,
                 jobs: List[Dict[str, Any]], priority: int = 0) -> None:
-        """Queue a batch; fingerprints already memoized answer instantly."""
+        """Queue a batch; fingerprints already memoized (or quarantined)
+        answer instantly."""
         batch = _Batch(batch_id, conn, priority=priority)
         self._batches[batch_id] = batch
         instant: List[Tuple[int, Dict[str, Any]]] = []
@@ -879,9 +1057,13 @@ class Broker:
                        priority=priority)
             batch.jobs[seq] = job
             memo = self._lookup_verdict(fingerprint)
+            poison = self._poison.get(fingerprint) if memo is None else None
             if memo is not None:
                 job.done = True
                 instant.append((seq, memo))
+            elif poison is not None:
+                job.done = True
+                instant.append((seq, self._poison_verdict(poison)))
             else:
                 self._queue.append(job)
         if self._store is not None and \
@@ -961,6 +1143,7 @@ class Broker:
         jobs are rescheduled from their persisted specs, with already
         memoized obligations answered from the store.
         """
+        self._load_poison()
         for name in sorted(os.listdir(self._queue_dir)):
             if not name.endswith(".json"):
                 continue
@@ -988,7 +1171,10 @@ class Broker:
                     continue
                 job = _Job(batch_id, seq, payload, fingerprint,
                            priority=priority)
-                if self._lookup_verdict(fingerprint) is not None:
+                if self._lookup_verdict(fingerprint) is not None \
+                        or fingerprint in self._poison:
+                    # Proved — or quarantined — in a previous life:
+                    # either way it must not reach another worker.
                     job.done = True
                 batch.jobs[seq] = job
                 if not job.done:
@@ -1073,14 +1259,23 @@ class Broker:
             if method != "GET":
                 return 405, {"error": "method not allowed"}
             snap = self._snapshot_now()
+            reasons: List[str] = []
+            if not snap["workers"]:
+                reasons.append("no workers connected")
+            if self._at_bound():
+                reasons.append(
+                    f"queue at bound ({snap['queued']} >= "
+                    f"{self.max_queued} queued)")
             return 200, {
-                "status": "ok",
+                "status": "degraded" if reasons else "ok",
+                "reasons": reasons,
                 "workers": len(snap["workers"]),
                 "queued": snap["queued"],
                 "batches": snap["batches"],
                 "memo": snap["memo"],
                 "jobs": snap["jobs"],
                 "durable": snap["durable"],
+                "poisoned": snap["poisoned"],
             }
         if path in ("/jobs", "/jobs/"):
             if method == "POST":
@@ -1112,6 +1307,13 @@ class Broker:
         return 404, {"error": f"no such endpoint {path!r}"}
 
     def _http_submit(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
+        if self._at_bound():
+            return 503, {
+                "error": (f"queue is at its bound "
+                          f"({self._queue_depth()} >= {self.max_queued} "
+                          f"queued); retry later"),
+                "retry_after": _RETRY_AFTER_S,
+            }
         try:
             spec = json.loads(body.decode("utf-8")) if body else None
         except (ValueError, UnicodeDecodeError):
@@ -1162,6 +1364,15 @@ class Broker:
             except (TypeError, ValueError):
                 raise ValueError("conflict_limit must be an integer") \
                     from None
+        budget = spec.get("wall_budget")
+        if budget is not None:
+            try:
+                normalized["wall_budget"] = float(budget)
+            except (TypeError, ValueError):
+                raise ValueError("wall_budget must be a number of seconds") \
+                    from None
+            if normalized["wall_budget"] <= 0:
+                raise ValueError("wall_budget must be positive")
         job = _HttpJob(f"job-{os.urandom(6).hex()}", normalized)
         self._http_jobs[job.job_id] = job
         self._persist_http_job(job)
@@ -1222,11 +1433,13 @@ class Broker:
                 model = UpecModel(soc, scenario)
                 result = UpecChecker(model, engine=engine).check(
                     k=spec["k"],
-                    conflict_limit=spec.get("conflict_limit"))
+                    conflict_limit=spec.get("conflict_limit"),
+                    wall_budget=spec.get("wall_budget"))
             else:
                 result = UpecMethodology(
                     soc, scenario,
                     conflict_limit=spec.get("conflict_limit"),
+                    wall_budget=spec.get("wall_budget"),
                     engine=engine,
                 ).run(k=spec["k"])
         finally:
@@ -1266,9 +1479,14 @@ class Broker:
                        priority=priority)
             batch.jobs[seq] = job
             memo = self._lookup_verdict(job.fingerprint)
+            poison = self._poison.get(job.fingerprint) \
+                if memo is None else None
             if memo is not None:
                 job.done = True
                 deliver(seq, memo, None)
+            elif poison is not None:
+                job.done = True
+                deliver(seq, self._poison_verdict(poison), None)
             else:
                 self._queue.append(job)
         self._retire_if_done(batch)

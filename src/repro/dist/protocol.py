@@ -4,7 +4,16 @@ Every message is one *frame* on a TCP stream::
 
     4 bytes   payload length, big-endian (excludes the header)
     1 byte    codec tag: b"J" (JSON, UTF-8) or b"M" (msgpack)
+    4 bytes   CRC32 over codec tag + payload, big-endian
     N bytes   the encoded message (a dict with a ``type`` key)
+
+The checksum is verified *before* the payload is handed to a codec: a
+frame corrupted in flight (or by a fault injector — see
+:mod:`repro.dist.chaos`) raises :class:`ProtocolError`, the receiving
+side recycles the connection, and the corrupt bytes are never
+deserialized.  Both fault-tolerance layers (worker reconnect, broker
+requeue, client resubmission) already treat a dropped connection as a
+recoverable event, so integrity checking composes with them for free.
 
 msgpack is used when both ends have it (it is substantially cheaper for
 the clause-heavy obligation payloads); JSON is the always-available
@@ -31,6 +40,7 @@ import json
 import socket
 import struct
 import threading
+import zlib
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.engine.obligation import ProofObligation
@@ -45,11 +55,19 @@ except ImportError:  # pragma: no cover - environment-dependent
 #: different versions are rejected.  v2: the broker pushes ``cancel``
 #: frames to workers mid-solve (cooperative preemption), so worker
 #: replies are routed by type instead of strict request/response.
-PROTO_VERSION = 2
+#: v3: the frame header grew a CRC32 of the tag + payload; a v2 peer
+#: misparses the header before its handshake version check can fire,
+#: which still surfaces as a loud :class:`ProtocolError` rather than
+#: silent corruption.
+PROTO_VERSION = 3
 
-_HEADER = struct.Struct(">IB")
+_HEADER = struct.Struct(">IBI")
 _TAG_JSON = ord("J")
 _TAG_MSGPACK = ord("M")
+
+
+def _frame_crc(tag: int, payload: bytes) -> int:
+    return zlib.crc32(payload, zlib.crc32(bytes([tag])))
 
 #: Sanity cap on a single frame (a corrupt length prefix must not make
 #: the receiver try to allocate gigabytes).
@@ -100,7 +118,8 @@ def frame_message(message: Dict[str, Any], codec: str = "json") -> bytes:
     """One fully encoded wire frame (header + payload) — shared by the
     threaded :class:`Connection` and the broker's asyncio streams."""
     tag, payload = _encode(message, codec)
-    return _HEADER.pack(len(payload), tag) + payload
+    return _HEADER.pack(len(payload), tag, _frame_crc(tag, payload)) \
+        + payload
 
 
 async def read_message(reader: "asyncio.StreamReader") \
@@ -113,7 +132,7 @@ async def read_message(reader: "asyncio.StreamReader") \
         if not exc.partial:
             return None
         raise ProtocolError("connection closed mid-frame") from exc
-    length, tag = _HEADER.unpack(header)
+    length, tag, crc = _HEADER.unpack(header)
     if length > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame of {length} bytes exceeds the "
                             f"{MAX_FRAME_BYTES}-byte cap")
@@ -121,6 +140,8 @@ async def read_message(reader: "asyncio.StreamReader") \
         payload = await reader.readexactly(length)
     except asyncio.IncompleteReadError as exc:
         raise ProtocolError("connection closed mid-frame") from exc
+    if _frame_crc(tag, payload) != crc:
+        raise ProtocolError("frame checksum mismatch (corrupt frame)")
     return _decode(tag, payload)
 
 
@@ -158,13 +179,15 @@ class Connection:
         header = self._recv_exact(_HEADER.size)
         if header is None:
             return None
-        length, tag = _HEADER.unpack(header)
+        length, tag, crc = _HEADER.unpack(header)
         if length > MAX_FRAME_BYTES:
             raise ProtocolError(f"frame of {length} bytes exceeds the "
                                 f"{MAX_FRAME_BYTES}-byte cap")
         payload = self._recv_exact(length)
         if payload is None:
             raise ProtocolError("connection closed mid-frame")
+        if _frame_crc(tag, payload) != crc:
+            raise ProtocolError("frame checksum mismatch (corrupt frame)")
         return _decode(tag, payload)
 
     def close(self) -> None:
@@ -268,6 +291,7 @@ def obligation_to_wire(obligation: ProofObligation) -> Dict[str, Any]:
         "frozen": list(obligation.frozen),
         "simplify": bool(obligation.simplify),
         "conflict_limit": obligation.conflict_limit,
+        "wall_budget": obligation.wall_budget,
         "meta": dict(obligation.meta),
     }
 
@@ -282,6 +306,7 @@ def obligation_from_wire(data: Dict[str, Any]) -> ProofObligation:
             frozen=list(map(int, data.get("frozen", ()))),
             simplify=bool(data.get("simplify", True)),
             conflict_limit=data.get("conflict_limit"),
+            wall_budget=data.get("wall_budget"),
             meta=dict(data.get("meta", {})),
         )
     except (KeyError, TypeError, ValueError) as exc:

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import itertools
 import os
+import random
 import time
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
@@ -51,12 +52,23 @@ class BrokerRefusal(DistError):
     through instead of redialing."""
 
 
+class _BrokerBusy(Exception):
+    """Internal: the broker refused a submit with ``busy`` backpressure
+    (queue at its ``--max-queued`` bound).  Carries the broker's
+    retry-after hint; ``solve_ordered`` backs off and resubmits."""
+
+    def __init__(self, retry_after: float) -> None:
+        super().__init__(f"broker queue is full (retry in {retry_after}s)")
+        self.retry_after = retry_after
+
+
 class RemotePool:
     """SolverPool-compatible scheduler that solves on a broker's fleet."""
 
     def __init__(self, address: str, timeout: Optional[float] = 10.0,
                  priority: int = 0, reconnect_retries: int = 5,
-                 reconnect_delay: float = 0.5) -> None:
+                 reconnect_delay: float = 0.5,
+                 busy_retries: int = 120) -> None:
         self.address = parse_address(address)
         self._timeout = timeout
         #: Scheduling priority of every batch this pool submits (higher
@@ -64,6 +76,9 @@ class RemotePool:
         self.priority = int(priority)
         self.reconnect_retries = max(0, int(reconnect_retries))
         self.reconnect_delay = reconnect_delay
+        #: How many consecutive ``busy`` (backpressure) refusals to ride
+        #: out with jittered backoff before giving up on a submit.
+        self.busy_retries = max(1, int(busy_retries))
         self._conn: Optional[Connection] = None
         self._batch_ids = itertools.count(1)
         self._client_id = ""
@@ -181,9 +196,18 @@ class RemotePool:
         consumed = 0
         stopped = False
         deaths = 0
+        busy = 0
         while not stopped and consumed < len(obligations):
             conn = self._require_conn()
             batch_id = f"{self._client_id}b{next(self._batch_ids)}"
+            # Progress high-water mark before this attempt: a connection
+            # that dies *after* delivering new verdicts was a live link
+            # (a transient reset, injected or real), not a dead broker —
+            # such a death resets the budget, which only ever counts
+            # CONSECUTIVE fruitless redials.  Without this, a long
+            # methodology on a flaky network exhausts a lifetime budget
+            # meant to detect a broker that is gone.
+            progress = consumed + len(arrived)
             try:
                 self._send(conn, {
                     "type": "submit",
@@ -199,9 +223,45 @@ class RemotePool:
                 stopped, consumed = self._consume(
                     conn, batch_id, obligations, results, arrived,
                     consumed, stopped, early_stop, on_verdict)
+                busy = 0
+            except _BrokerBusy as refusal:
+                # Backpressure, not failure: the queue is at its bound.
+                # Honor the retry-after hint with jitter (so a fleet of
+                # refused clients does not resubmit in lockstep) and
+                # try again on the same live connection.
+                busy += 1
+                if busy > self.busy_retries:
+                    raise DistError(
+                        f"broker at {self.address[0]}:{self.address[1]} "
+                        f"queue stayed full through {busy - 1} "
+                        f"backpressure retries") from refusal
+                time.sleep(refusal.retry_after * (0.5 + random.random()))
             except BrokerRefusal:
                 raise          # the broker answered; redialing won't help
             except DistError:
+                # ``_consume``'s in-order progress lands in ``results``
+                # (mutated in place), but its advancing ``consumed`` /
+                # ``stopped`` counters are locals that die with the
+                # exception.  Resync from ``results`` before
+                # resubmitting: otherwise a verdict consumed just
+                # before the connection died would be resubmitted, its
+                # re-delivery skipped by the duplicate-seq guard, and
+                # ``consumed`` could never reach it again — a client
+                # blocked forever on a batch the broker has already
+                # delivered and retired.
+                while consumed < len(obligations) \
+                        and results[consumed] is not None:
+                    if early_stop is not None \
+                            and early_stop(results[consumed]):
+                        # Re-derive the stop decision _consume made on
+                        # this verdict before dying (early_stop is a
+                        # pure predicate of the verdict, so asking
+                        # again is safe) — losing it would solve past
+                        # the stop point the caller asked for.
+                        stopped = True
+                    consumed += 1
+                if consumed + len(arrived) > progress:
+                    deaths = 0
                 deaths += 1
                 if deaths > self.reconnect_retries:
                     raise
@@ -223,6 +283,8 @@ class RemotePool:
                 if message.get("batch_id") != batch_id:
                     continue  # stray frame from an older cancelled batch
                 seq = int(message["seq"])
+                if results[seq] is not None or seq in arrived:
+                    continue  # duplicated frame: this seq already landed
                 verdict = Verdict.from_dict(message["verdict"])
                 if stopped:
                     # Mirrors the local pool: results that finished
@@ -252,6 +314,11 @@ class RemotePool:
                                            arrived[extra])
                         arrived.clear()
                         break
+            elif kind == "busy":
+                if message.get("batch_id") in (None, batch_id):
+                    raise _BrokerBusy(
+                        float(message.get("retry_after", 0.5)))
+                continue  # stale refusal of an earlier batch
             elif kind == "cancelled":
                 if message.get("batch_id") == batch_id:
                     break

@@ -38,7 +38,8 @@ import os
 import queue
 import threading
 import time
-from typing import Any, Dict, Optional, Tuple
+import traceback
+from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.dist.protocol import (
     Connection,
@@ -49,7 +50,7 @@ from repro.dist.protocol import (
     dial,
 )
 from repro.engine.cache import ResultCache
-from repro.engine.obligation import Verdict, solve_obligation
+from repro.engine.obligation import UNKNOWN, Verdict, solve_obligation
 
 
 class Worker:
@@ -80,6 +81,9 @@ class Worker:
         self.stable_after = stable_after
         self.solved = 0
         self.cancelled = 0
+        #: Solves that crashed (reported to the broker as structured
+        #: failures instead of killing this worker).
+        self.failed = 0
         self._stop = threading.Event()
         # Cancellation state of the job currently being solved, shared
         # between the receiver thread and the solve's cancel_check.
@@ -186,38 +190,58 @@ class Worker:
         pulse.start()
         receiver.start()
         try:
+            # The loop is *type-driven*, not strict request/response:
+            # every inbound frame is handled by what it says it is, so
+            # a duplicated frame in flight (a flaky path, a fault
+            # injector) re-routes harmlessly — a duplicated "job" is
+            # just another assignment, a stray "ok" ack is absorbed —
+            # instead of desynchronizing a lockstep conversation.
+            need_pull = True
             while not self._stop.is_set():
-                # A cache-less worker declines gossip: it could only
-                # discard the verdict payloads the broker would ship.
-                conn.send({"type": "pull",
-                           "gossip": self.cache is not None})
+                if need_pull:
+                    # A cache-less worker declines gossip: it could
+                    # only discard the payloads the broker would ship.
+                    conn.send({"type": "pull",
+                               "gossip": self.cache is not None})
+                    need_pull = False
                 reply = replies.get()
                 if reply is None:
                     return
                 self._absorb_gossip(reply.get("gossip") or ())
                 kind = reply.get("type")
+                if kind == "ok":
+                    continue          # ack of a reported result
                 if kind == "idle":
                     if self._stop.wait(self.poll_interval):
                         return
+                    need_pull = True
                     continue
                 if kind != "job":
                     raise ProtocolError(f"unexpected reply {kind!r} to pull")
                 key = (str(reply.get("batch_id")),
                        int(reply.get("seq", -1)))
-                verdict = self._solve(reply["obligation"], key)
-                if verdict is None:
-                    # Cancelled mid-solve: the broker already discarded
-                    # the job, so there is nothing worth reporting —
-                    # straight back to pulling.
-                    continue
-                conn.send({
-                    "type": "result",
-                    "batch_id": key[0],
-                    "seq": key[1],
-                    "verdict": verdict.to_dict(),
-                })
-                if replies.get() is None:   # ack ("ok")
-                    return
+                outcome = self._solve(reply["obligation"], key)
+                if isinstance(outcome, Verdict):
+                    conn.send({
+                        "type": "result",
+                        "batch_id": key[0],
+                        "seq": key[1],
+                        "verdict": outcome.to_dict(),
+                    })
+                elif outcome is not None:
+                    # The solve crashed: report the structured failure
+                    # (exception type + traceback) so the broker can
+                    # tell a poison obligation from a transient fault
+                    # — and keep serving instead of dying with it.
+                    conn.send({
+                        "type": "result",
+                        "batch_id": key[0],
+                        "seq": key[1],
+                        "failure": outcome,
+                    })
+                # None: cancelled mid-solve — the broker already
+                # discarded the job, nothing worth reporting.
+                need_pull = True
         except OSError:
             return
         finally:
@@ -233,27 +257,42 @@ class Worker:
                 self._cancel_flag.set()
 
     # ------------------------------------------------------------------
-    def _solve(self, payload, key: Tuple[str, int]) -> Optional[Verdict]:
-        """Solve one job; None when the broker cancelled it mid-solve."""
-        obligation = obligation_from_wire(payload)
-        if self.cache is not None:
-            hit = self.cache.lookup(obligation)
-            if hit is not None:
-                self.solved += 1
-                return hit
+    def _solve(self, payload, key: Tuple[str, int]) \
+            -> Union[Verdict, Dict[str, Any], None]:
+        """Solve one job.
+
+        Returns the :class:`Verdict`; None when the broker cancelled the
+        job mid-solve; or — when the solve *crashed* — a structured
+        failure report (``exc_type``/``message``/``traceback``) for the
+        broker's poison-quarantine accounting.  Catching here keeps one
+        pathological obligation from killing the whole worker process.
+        """
         with self._cancel_lock:
             self._current_job = key
             self._cancel_flag.clear()
         try:
+            obligation = obligation_from_wire(payload)
+            if self.cache is not None:
+                hit = self.cache.lookup(obligation)
+                if hit is not None:
+                    self.solved += 1
+                    return hit
             verdict = solve_obligation(
                 obligation, simp_cache=self.cache,
                 cancel_check=lambda: (self._cancel_flag.is_set()
                                       or self._stop.is_set()),
             )
+        except Exception as exc:
+            self.failed += 1
+            return {
+                "exc_type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(limit=20),
+            }
         finally:
             with self._cancel_lock:
                 self._current_job = None
-        if self._cancel_flag.is_set() and verdict.status == "unknown":
+        if self._cancel_flag.is_set() and verdict.status == UNKNOWN:
             self.cancelled += 1
             return None
         self.solved += 1

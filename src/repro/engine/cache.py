@@ -30,6 +30,13 @@ all-hit runs still persist their recency), and each save merges with
 the on-disk index so sibling processes' entries survive.  With the
 directory shared between processes the byte cap and LRU order are
 best-effort per process, not a global invariant.
+
+Every entry carries a CRC32 of its canonical payload serialization; an
+entry whose checksum (or JSON structure) does not survive the round
+trip — a truncated write, a flipped bit on disk — is *quarantined*:
+moved aside into ``_quarantine/`` and treated as a miss, never a crash
+and never served.  Entries written before checksumming landed are
+accepted as-is (missing checksum = legacy entry).
 """
 
 from __future__ import annotations
@@ -38,15 +45,20 @@ import json
 import os
 import tempfile
 import time
+import zlib
 from typing import Any, Dict, Optional, Tuple
 
-from repro.engine.obligation import UNKNOWN, ProofObligation, Verdict
+from repro.engine.obligation import DEFINITE, ProofObligation, Verdict
 
 #: Environment knob: byte budget for every cache directory opened
 #: without an explicit ``max_bytes``.
 CACHE_MAX_ENV = "REPRO_ENGINE_CACHE_MAX_BYTES"
 
 _INDEX_NAME = "_index.json"
+
+#: Subdirectory corrupt entries are moved into (quarantine-and-miss):
+#: kept for post-mortem instead of deleted, out of the lookup path.
+_QUARANTINE_DIR = "_quarantine"
 
 #: Key suffix of warm-start entries: the simplified clause database of
 #: an obligation lives beside its verdict as ``<fingerprint>.simp.json``
@@ -62,6 +74,15 @@ _ORPHAN_TTL_S = 3600.0
 #: rather than on every store — the index is advisory and rebuilt from
 #: the listing, so batching costs nothing but staleness.
 _SAVE_EVERY = 16
+
+
+def _payload_crc(payload: Dict[str, Any]) -> int:
+    """CRC32 over the canonical serialization of an entry's payload
+    (the ``crc32`` field itself excluded)."""
+    body = {key: value for key, value in payload.items() if key != "crc32"}
+    encoded = json.dumps(body, sort_keys=True,
+                         separators=(",", ":")).encode("utf-8")
+    return zlib.crc32(encoded)
 
 
 def _env_max_bytes() -> Optional[int]:
@@ -87,6 +108,8 @@ class ResultCache:
         self._clean_orphans()
         self._tick, self._entries = self._load_index()
         self._dirty = 0
+        #: Corrupt entries moved to ``_quarantine/`` by this process.
+        self.quarantined = 0
 
     def __enter__(self) -> "ResultCache":
         return self
@@ -252,6 +275,53 @@ class ResultCache:
     def _path(self, fingerprint: str) -> str:
         return os.path.join(self.root, f"{fingerprint}.json")
 
+    def _quarantine(self, key: str) -> None:
+        """Move a corrupt entry out of the lookup path (kept under
+        ``_quarantine/`` for post-mortem) and forget it ever existed —
+        the caller reports a miss, the next store rewrites it clean."""
+        target_dir = os.path.join(self.root, _QUARANTINE_DIR)
+        path = self._path(key)
+        try:
+            os.makedirs(target_dir, exist_ok=True)
+            os.replace(path, os.path.join(target_dir, f"{key}.json"))
+        except OSError:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        self._entries.pop(key, None)
+        self._dirty += 1
+        self.quarantined += 1
+
+    def _read_entry(self, key: str) -> Optional[Dict[str, Any]]:
+        """Read and integrity-check one entry; corrupt files (bad JSON,
+        non-dict payload, or a present-but-mismatched checksum) are
+        quarantined and reported as a miss.  Entries without a
+        ``crc32`` field predate checksumming and are accepted."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                raw = handle.read()
+        except OSError:
+            return None
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+            if not isinstance(payload, dict):
+                raise ValueError("payload is not a mapping")
+        except (ValueError, UnicodeDecodeError):
+            self._quarantine(key)
+            return None
+        crc = payload.get("crc32")
+        if crc is not None:
+            try:
+                ok = int(crc) == _payload_crc(payload)
+            except (TypeError, ValueError):
+                ok = False
+            if not ok:
+                self._quarantine(key)
+                return None
+        return payload
+
     def has(self, fingerprint: str) -> bool:
         """Whether a verdict for this fingerprint is on disk (no read,
         no recency touch — used to skip redundant gossip writes)."""
@@ -265,15 +335,16 @@ class ResultCache:
         """Return the stored verdict for a bare fingerprint, or None —
         the durable-broker path: the memo is keyed by fingerprint, not
         by a live obligation."""
-        path = self._path(fingerprint)
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                data = json.load(handle)
-        except (OSError, ValueError):
+        data = self._read_entry(fingerprint)
+        if data is None:
             return None
         try:
             verdict = Verdict.from_dict(data["verdict"])
         except (KeyError, TypeError, ValueError):
+            # Structurally broken in a way the checksum could not see
+            # (a legacy entry, or a clean write of garbage): same
+            # treatment — out of the lookup path, report a miss.
+            self._quarantine(fingerprint)
             return None
         verdict.cached = True
         # Recency is tracked in memory and persisted on the next store:
@@ -291,7 +362,7 @@ class ResultCache:
                       size: Optional[Dict[str, int]] = None) -> None:
         """Persist a verdict known only by its fingerprint — the gossip
         path: a broker-relayed verdict arrives without its obligation."""
-        if verdict.status == UNKNOWN or verdict.cached:
+        if verdict.status not in DEFINITE or verdict.cached:
             return
         payload: Dict[str, Any] = {
             "verdict": verdict.to_dict(),
@@ -301,6 +372,8 @@ class ResultCache:
         self._write_entry(verdict.fingerprint, payload)
 
     def _write_entry(self, key: str, payload: Dict[str, Any]) -> None:
+        payload = dict(payload)
+        payload["crc32"] = _payload_crc(payload)
         encoded = json.dumps(payload)
         path = self._path(key)
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
@@ -331,13 +404,12 @@ class ResultCache:
 
     def lookup_simplified(self, fingerprint: str) -> Optional[Dict[str, Any]]:
         key = fingerprint + _SIMP_SUFFIX
-        try:
-            with open(self._path(key), "r", encoding="utf-8") as handle:
-                data = json.load(handle)
-            payload = data["simplified"]
-        except (OSError, ValueError, KeyError, TypeError):
+        data = self._read_entry(key)
+        if data is None:
             return None
+        payload = data.get("simplified")
         if not isinstance(payload, dict):
+            self._quarantine(key)
             return None
         self._touch(key)
         return payload

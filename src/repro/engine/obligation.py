@@ -28,6 +28,20 @@ from repro.formal.solver import CdclSolver
 SAT = "sat"
 UNSAT = "unsat"
 UNKNOWN = "unknown"
+#: The solve exhausted its wall-clock budget (``wall_budget``) before
+#: reaching a definite answer.  Distinguishable from ``unknown`` (a
+#: conflict-limit exhaustion or a cooperative cancel) so callers can
+#: report "timed out" instead of a generic inconclusive.
+TIMEOUT = "timeout"
+#: The broker quarantined the obligation after its assignment killed
+#: (or crashed the solve on) N distinct workers; ``Verdict.failures``
+#: carries the workers' structured failure reports.
+POISONED = "poisoned"
+
+#: The statuses that settle a query.  Only these are ever memoized or
+#: written to the persistent result cache — timeout/poisoned/unknown
+#: are circumstances of one run, not facts about the formula.
+DEFINITE = (SAT, UNSAT)
 
 _FINGERPRINT_SALT = b"upec-obligation-v1"
 
@@ -70,6 +84,11 @@ class ProofObligation:
     frozen: List[int] = field(default_factory=list)
     simplify: bool = True
     conflict_limit: Optional[int] = None
+    #: Wall-clock budget in seconds for one solve attempt; exhausting it
+    #: yields a :data:`TIMEOUT` verdict.  Like ``conflict_limit`` it is
+    #: excluded from the fingerprint — a definite verdict is valid under
+    #: any budget.
+    wall_budget: Optional[float] = None
     meta: Dict[str, Any] = field(default_factory=dict)
     remap: Optional[List[int]] = None   # new var -> original var (0 unused)
     orig_nvars: int = 0
@@ -104,7 +123,7 @@ class ProofObligation:
 class Verdict:
     """Result of solving one obligation."""
 
-    status: str                       # sat | unsat | unknown
+    status: str                  # sat | unsat | unknown | timeout | poisoned
     obligation: str                   # name of the obligation
     fingerprint: str
     model: Optional[bytes] = None     # packed model bits on SAT
@@ -112,6 +131,9 @@ class Verdict:
     runtime_s: float = 0.0
     stats: Dict[str, int] = field(default_factory=dict)
     cached: bool = False
+    #: Structured worker failure reports on a ``poisoned`` verdict:
+    #: ``[{"worker", "exc_type", "message", "traceback"}, ...]``.
+    failures: Optional[List[Dict[str, Any]]] = None
 
     @property
     def sat(self) -> bool:
@@ -129,7 +151,7 @@ class Verdict:
         return unpack_model(self.model, self.nvars)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "status": self.status,
             "obligation": self.obligation,
             "fingerprint": self.fingerprint,
@@ -138,10 +160,14 @@ class Verdict:
             "runtime_s": self.runtime_s,
             "stats": dict(self.stats),
         }
+        if self.failures is not None:
+            data["failures"] = [dict(f) for f in self.failures]
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "Verdict":
         model = data.get("model")
+        failures = data.get("failures")
         return cls(
             status=data["status"],
             obligation=data["obligation"],
@@ -150,17 +176,22 @@ class Verdict:
             nvars=data.get("nvars", 0),
             runtime_s=data.get("runtime_s", 0.0),
             stats=dict(data.get("stats", {})),
+            failures=[dict(f) for f in failures]
+            if failures is not None else None,
         )
 
 
 def _verdict_from_outcome(obligation: ProofObligation, fingerprint: str,
                           outcome: Optional[bool],
                           model: Optional[bytes],
-                          stats: Dict[str, int], start: float) -> Verdict:
+                          stats: Dict[str, int], start: float,
+                          stop_reason: Optional[str] = None) -> Verdict:
     if outcome is True:
         status = SAT
     elif outcome is False:
         status = UNSAT
+    elif stop_reason == "deadline":
+        status = TIMEOUT
     else:
         status = UNKNOWN
     return Verdict(
@@ -176,7 +207,8 @@ def _verdict_from_outcome(obligation: ProofObligation, fingerprint: str,
 
 def _solve_warm(obligation: ProofObligation, fingerprint: str,
                 warm: Dict[str, Any], start: float,
-                cancel_check=None) -> Optional[Verdict]:
+                cancel_check=None,
+                deadline: Optional[float] = None) -> Optional[Verdict]:
     """Solve on a cached post-simplification clause database.
 
     The simplified formula is equisatisfiable with the obligation's CNF
@@ -217,6 +249,7 @@ def _solve_warm(obligation: ProofObligation, fingerprint: str,
         assumptions=obligation.assumptions,
         conflict_limit=obligation.conflict_limit,
         cancel_check=cancel_check,
+        deadline=deadline,
     )
     stats = solver.stats.as_dict()
     stats["simplify_warm_starts"] = 1
@@ -224,7 +257,8 @@ def _solve_warm(obligation: ProofObligation, fingerprint: str,
     if outcome is True:
         model = pack_model(reconstruct_model(solver.model(), stack))
     return _verdict_from_outcome(obligation, fingerprint, outcome, model,
-                                 stats, start)
+                                 stats, start,
+                                 stop_reason=solver.stop_reason)
 
 
 def solve_obligation(obligation: ProofObligation,
@@ -244,14 +278,24 @@ def solve_obligation(obligation: ProofObligation,
     cooperative preemption for distributed early-cancel.  Definite
     verdicts are unaffected, so purity (same obligation, same sat/unsat
     answer) is preserved.
+
+    An obligation with a ``wall_budget`` arms a wall-clock deadline for
+    this attempt; exhausting it yields a :data:`TIMEOUT` verdict —
+    distinguishable from the ``unknown`` of a conflict-limit exhaustion
+    or a cancel, so callers can report "timed out" instead of hanging
+    or guessing.
     """
     start = time.perf_counter()
+    deadline = None
+    if obligation.wall_budget is not None and obligation.wall_budget > 0:
+        deadline = time.monotonic() + obligation.wall_budget
     fingerprint = obligation.fingerprint()
     if simp_cache is not None and obligation.simplify:
         warm = simp_cache.lookup_simplified(fingerprint)
         if warm is not None:
             verdict = _solve_warm(obligation, fingerprint, warm, start,
-                                  cancel_check=cancel_check)
+                                  cancel_check=cancel_check,
+                                  deadline=deadline)
             if verdict is not None:
                 return verdict
     solver = SimplifyingSolver() if obligation.simplify else CdclSolver()
@@ -266,6 +310,7 @@ def solve_obligation(obligation: ProofObligation,
         assumptions=obligation.assumptions,
         conflict_limit=obligation.conflict_limit,
         cancel_check=cancel_check,
+        deadline=deadline,
     )
     stats = solver.stats.as_dict()
     simp = getattr(solver, "simplify_stats", None)
@@ -280,4 +325,5 @@ def solve_obligation(obligation: ProofObligation,
     if outcome is True:
         model = pack_model(solver.model())
     return _verdict_from_outcome(obligation, fingerprint, outcome, model,
-                                 stats, start)
+                                 stats, start,
+                                 stop_reason=solver.stop_reason)

@@ -211,6 +211,7 @@ def _run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
                 engine=engine,
                 slice=payload.get("slice"),
                 split=payload.get("split"),
+                wall_budget=payload.get("wall_budget"),
             )
             result = methodology.run(
                 k=payload["k"],
@@ -238,6 +239,7 @@ class ScenarioSweep:
         slice: Optional[bool] = None,
         connect: Optional[str] = None,
         split: Optional[bool] = None,
+        wall_budget: Optional[float] = None,
     ) -> None:
         self.cells = list(cells)
         self.simplify = simplify
@@ -247,6 +249,7 @@ class ScenarioSweep:
         self.slice = slice
         self.connect = connect
         self.split = split
+        self.wall_budget = wall_budget
 
     # ------------------------------------------------------------------
     @classmethod
@@ -317,6 +320,7 @@ class ScenarioSweep:
             "cell_type": cell.cell_type,
             "simplify": self.simplify,
             "conflict_limit": self.conflict_limit,
+            "wall_budget": self.wall_budget,
             "cache_dir": self.cache_dir,
             "max_iterations": self.max_iterations,
             "slice": self.slice,

@@ -87,10 +87,12 @@ class ClauseLog:
         self.inner.freeze_var(var)
 
     def solve(self, assumptions: Sequence[int] = (),
-              conflict_limit: Optional[int] = None) -> Optional[bool]:
+              conflict_limit: Optional[int] = None,
+              deadline: Optional[float] = None) -> Optional[bool]:
         self._adopted = None
         return self.inner.solve(assumptions=assumptions,
-                                conflict_limit=conflict_limit)
+                                conflict_limit=conflict_limit,
+                                deadline=deadline)
 
     def adopt_model(self, model: Sequence[bool]) -> None:
         """Install an externally computed model; ``model_value`` reads it
@@ -153,6 +155,7 @@ class SatContext:
         name: str,
         assumptions: Sequence[int] = (),
         conflict_limit: Optional[int] = None,
+        wall_budget: Optional[float] = None,
         meta: Optional[Dict[str, Any]] = None,
         slice: Optional[bool] = None,
         frame: Optional[int] = None,
@@ -213,6 +216,7 @@ class SatContext:
                 frozen=sliced.frozen,
                 simplify=self.simplify,
                 conflict_limit=conflict_limit,
+                wall_budget=wall_budget,
                 meta=dict(meta or {}),
                 remap=sliced.remap,
                 orig_nvars=log.nvars,
@@ -229,6 +233,7 @@ class SatContext:
             frozen=sorted(log.frozen),
             simplify=self.simplify,
             conflict_limit=conflict_limit,
+            wall_budget=wall_budget,
             meta=dict(meta or {}),
             orig_nvars=log.nvars,
         )
@@ -294,13 +299,18 @@ class SatContext:
         self,
         assumptions: Sequence[int] = (),
         conflict_limit: Optional[int] = None,
+        deadline: Optional[float] = None,
     ) -> Optional[bool]:
         """Solve under AIG-literal assumptions.
 
-        Returns True (SAT), False (UNSAT) or None (conflict limit reached).
+        Returns True (SAT), False (UNSAT) or None (conflict limit or
+        wall-clock ``deadline`` reached — the solver's ``stop_reason``
+        says which).
         """
         dimacs = [self.mapper.assumption(lit) for lit in assumptions]
-        return self.solver.solve(assumptions=dimacs, conflict_limit=conflict_limit)
+        return self.solver.solve(assumptions=dimacs,
+                                 conflict_limit=conflict_limit,
+                                 deadline=deadline)
 
     def value(self, lit: int) -> bool:
         """Model value of an AIG literal after a SAT result."""

@@ -530,6 +530,7 @@ class SimplifyingSolver:
         self._ok = True
         self._did_initial = False
         self._model: Optional[List[bool]] = None
+        self.stop_reason: Optional[str] = None
 
     # ------------------------------------------------------------------
     # CdclSolver-compatible construction API
@@ -661,7 +662,9 @@ class SimplifyingSolver:
         assumptions: Sequence[int] = (),
         conflict_limit: Optional[int] = None,
         cancel_check=None,
+        deadline: Optional[float] = None,
     ) -> Optional[bool]:
+        self.stop_reason: Optional[str] = None
         if not self._ok:
             return False
         self._model = None
@@ -687,8 +690,9 @@ class SimplifyingSolver:
             self._sync_vars()
         outcome = self._inner.solve(
             assumptions=assumptions, conflict_limit=conflict_limit,
-            cancel_check=cancel_check,
+            cancel_check=cancel_check, deadline=deadline,
         )
+        self.stop_reason = self._inner.stop_reason
         if outcome is True:
             base = [False] * (self.nvars + 1)
             inner = self._inner

@@ -16,6 +16,7 @@ its life in ``_propagate``).
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.errors import FormalError
@@ -89,6 +90,9 @@ class CdclSolver:
         self._ok = True
         self._model: List[int] = []
         self.stats = Stats()
+        #: why the last :meth:`solve` returned None ("conflicts",
+        #: "cancelled" or "deadline"); None after a definite answer.
+        self.stop_reason: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Problem construction
@@ -457,6 +461,7 @@ class CdclSolver:
         assumptions: Sequence[int] = (),
         conflict_limit: Optional[int] = None,
         cancel_check: Optional[Callable[[], bool]] = None,
+        deadline: Optional[float] = None,
     ) -> Optional[bool]:
         """Solve the formula.
 
@@ -469,7 +474,14 @@ class CdclSolver:
         solves whose answer nobody wants anymore (a cancelled distributed
         batch).  A definite sat/unsat answer is never affected: the check
         only ever converts *remaining* search into an early exit.
+
+        ``deadline`` (a ``time.monotonic()`` instant) is the wall-clock
+        budget, polled at the same cadence; expiring abandons the search
+        with None.  After any None return, :attr:`stop_reason` says why
+        ("conflicts", "cancelled" or "deadline") so callers can report a
+        distinguishable *timeout* instead of a generic unknown.
         """
+        self.stop_reason: Optional[str] = None
         if not self._ok:
             return False
         self._backtrack(0)
@@ -494,16 +506,23 @@ class CdclSolver:
                     and self.stats.conflicts - conflicts_at_start
                     >= conflict_limit
                 ):
+                    self.stop_reason = "conflicts"
                     self._backtrack(0)
                     return None
                 if (
-                    cancel_check is not None
+                    (cancel_check is not None or deadline is not None)
                     and (self.stats.conflicts - conflicts_at_start)
                     % CANCEL_CHECK_EVERY == 0
-                    and cancel_check()
                 ):
-                    self._backtrack(0)
-                    return None
+                    if cancel_check is not None and cancel_check():
+                        self.stop_reason = "cancelled"
+                        self._backtrack(0)
+                        return None
+                    if deadline is not None \
+                            and time.monotonic() >= deadline:
+                        self.stop_reason = "deadline"
+                        self._backtrack(0)
+                        return None
                 learnt, back_level = self._analyze(conflict)
                 # LBD (glue) of the learnt clause: number of distinct
                 # decision levels, computed while everything is assigned.

@@ -61,6 +61,18 @@ def _worker_main(address, cache_dir=None, solve_delay=0.0):
                           poll_interval=0.01, max_retries=3)
 
 
+def _crashing_worker_main(address):
+    """Subprocess body whose every solve raises — the worker must survive
+    and report structured failures (poison-quarantine fodder)."""
+    import repro.dist.worker as worker_mod
+
+    def broken(obligation, simp_cache=None, **kwargs):
+        raise RuntimeError("deliberately broken solve")
+
+    worker_mod.solve_obligation = broken
+    worker_mod.run_worker(address, poll_interval=0.01, max_retries=3)
+
+
 def _spawn_worker(address, cache_dir=None, solve_delay=0.0):
     process = _MP.Process(
         target=_worker_main,
@@ -227,6 +239,90 @@ def test_remote_early_cancel_stops_consumption(broker):
     assert _wait_for(lambda: broker.snapshot()["queued"] == 0)
 
 
+def test_partial_consume_survives_connection_death(broker):
+    """A connection that dies right after a verdict was consumed must
+    not strand the batch: the retry resyncs its progress from the
+    result list, resubmits only the missing seqs, and drains.  (The
+    losing-progress variant of this bug left the client waiting forever
+    on verdicts the broker had already delivered and retired.)"""
+    broker.spawn()
+    obligations = _toy_obligations(2)
+    pool = RemotePool(broker.address)
+    try:
+        pool.solve_ordered(obligations)  # prime the broker memo
+        orig_recv = RemotePool._recv.__get__(pool)
+        state = {"verdicts": 0, "cut": False}
+
+        def recv_then_die(conn):
+            if state["verdicts"] == 1 and not state["cut"]:
+                state["cut"] = True
+                raise DistError("injected connection death")
+            message = orig_recv(conn)
+            if message.get("type") == "verdict":
+                state["verdicts"] += 1
+            return message
+
+        pool._recv = recv_then_die
+        done = {}
+
+        def run():
+            done["results"] = pool.solve_ordered(obligations)
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        thread.join(timeout=30)
+        assert not thread.is_alive(), \
+            "solve_ordered deadlocked after a mid-consume connection death"
+    finally:
+        pool.close()
+    assert state["cut"], "the injected death never fired"
+    local = [solve_obligation(ob) for ob in obligations]
+    for mine, theirs in zip(local, done["results"]):
+        assert theirs is not None
+        assert mine.status == theirs.status
+        assert mine.fingerprint == theirs.fingerprint
+
+
+def test_early_stop_survives_cancel_send_death(broker):
+    """A connection that dies on the early-stop cancel send must not
+    lose the stop decision: the retry re-derives ``stopped`` from the
+    consumed verdicts and returns without solving past the stop point
+    (and without deadlocking on the resubmitted duplicate seqs)."""
+    broker.spawn()
+    obligations = _toy_obligations(3)
+    pool = RemotePool(broker.address)
+    try:
+        pool.solve_ordered(obligations)  # prime the broker memo
+        orig_send = RemotePool._send.__get__(pool)
+        state = {"cut": False}
+
+        def cancel_send_dies(conn, message):
+            if message.get("type") == "cancel" and not state["cut"]:
+                state["cut"] = True
+                raise DistError("injected connection death")
+            return orig_send(conn, message)
+
+        pool._send = cancel_send_dies
+        done = {}
+
+        def run():
+            done["results"] = pool.solve_ordered(
+                obligations, early_stop=lambda verdict: verdict.sat)
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        thread.join(timeout=30)
+        assert not thread.is_alive(), \
+            "solve_ordered deadlocked after the cancel send died"
+    finally:
+        pool.close()
+    assert state["cut"], "the injected death never fired"
+    results = done["results"]
+    # toy0 is SAT: order semantics stop there, even across the death.
+    assert results[0] is not None and results[0].sat
+    assert all(entry is None for entry in results[1:])
+
+
 def test_remote_pool_advertises_parallel_jobs(broker):
     pool = RemotePool(broker.address)
     try:
@@ -365,9 +461,12 @@ def test_stale_heartbeat_evicts_and_requeues(tmp_path):
         broker.stop()
 
 
-def test_job_fails_loudly_after_exhausting_workers():
-    # Every worker that touches the job dies: after max_attempts the
-    # broker reports failure instead of spinning forever.
+def test_poison_obligation_quarantined_after_worker_deaths():
+    # Every worker that touches the job dies: after max_attempts distinct
+    # workers the broker pulls the obligation from rotation and delivers
+    # a structured "poisoned" verdict carrying their failure reports —
+    # instead of burning through the fleet forever (or erroring the
+    # whole batch, as it used to).
     broker = Broker(port=0, heartbeat_timeout=10.0, max_attempts=2).start()
     procs = []
     client = None
@@ -394,8 +493,20 @@ def test_job_fails_loudly_after_exhausting_workers():
             victim.join(timeout=5)
         thread.join(timeout=30)
         assert not thread.is_alive()
-        assert "error" in outcome
-        assert "gave up" in str(outcome["error"])
+        assert "error" not in outcome, outcome.get("error")
+        verdict = outcome["results"][0]
+        assert verdict.status == "poisoned"
+        assert verdict.fingerprint == obligations[0].fingerprint()
+        # The failure reports name the distinct workers that died.
+        assert verdict.failures and len(verdict.failures) >= 2
+        for report in verdict.failures:
+            assert report["exc_type"] == "WorkerDied"
+            assert report["worker_id"]
+        assert broker.snapshot()["poisoned"] == 1
+        # A resubmission of the same obligation short-circuits to the
+        # quarantined verdict without touching any worker.
+        again = client.solve_ordered(obligations)
+        assert again[0].status == "poisoned"
     finally:
         if client is not None:
             client.close()
@@ -403,6 +514,40 @@ def test_job_fails_loudly_after_exhausting_workers():
             if process.is_alive():
                 process.terminate()
                 process.join(timeout=5)
+        broker.stop()
+
+
+def test_crashing_solve_reports_structured_failure_and_poisons():
+    # A solve that raises (rather than killing the process) sends a
+    # structured failure report; the worker survives, and after
+    # max_attempts the broker quarantines the obligation with the
+    # reports' exception type and traceback attached.
+    broker = Broker(port=0, heartbeat_timeout=10.0, max_attempts=2,
+                    poison_threshold=1).start()
+    worker = None
+    client = None
+    try:
+        worker = _MP.Process(
+            target=_crashing_worker_main, args=(broker.address,),
+            daemon=True)
+        worker.start()
+        client = RemotePool(broker.address)
+        results = client.solve_ordered(_toy_obligations(1))
+        verdict = results[0]
+        assert verdict.status == "poisoned"
+        assert verdict.failures
+        report = verdict.failures[0]
+        assert report["exc_type"] == "RuntimeError"
+        assert "deliberately broken solve" in report["message"]
+        assert "RuntimeError" in report.get("traceback", "")
+        # The worker survived its own crash and is still registered.
+        assert any(w["name"] for w in broker.snapshot()["workers"])
+    finally:
+        if client is not None:
+            client.close()
+        if worker is not None and worker.is_alive():
+            worker.terminate()
+            worker.join(timeout=5)
         broker.stop()
 
 
@@ -695,17 +840,32 @@ def test_flapping_broker_worker_backs_off():
 
 
 def test_duplicate_live_batch_id_rejected(broker):
-    """Resubmitting a batch_id that is still live must be rejected, not
-    silently replace the first batch (stranding its client forever)."""
+    """A *different* batch under a still-live id must be rejected, not
+    silently replace the first batch (stranding its client forever) —
+    while an identical retransmission of our own live submit (a
+    duplicated frame in flight) is ignored rather than erroring the
+    whole run out."""
     conn, _welcome = dial(("127.0.0.1", broker.port), role="client",
                           timeout=5)
     try:
+        toys = _toy_obligations(2)
         jobs = [{"seq": 0, "fingerprint": "fp-dup",
-                 "obligation": obligation_to_wire(_toy_obligations(1)[0])}]
+                 "obligation": obligation_to_wire(toys[0])}]
         # No workers attached: the first submission stays queued (live).
         conn.send({"type": "submit", "batch_id": "dup", "jobs": jobs})
         assert _wait_for(lambda: broker.snapshot()["batches"] == 1)
+        # Identical job set over the same connection: a retransmitted
+        # duplicate frame.  No error — the next reply must be the
+        # status answer, proving the dup was silently dropped.
         conn.send({"type": "submit", "batch_id": "dup", "jobs": jobs})
+        conn.send({"type": "status"})
+        reply = conn.recv()
+        assert reply["type"] == "status"
+        assert broker.snapshot()["batches"] == 1
+        # A different job set under the live id is an id collision.
+        conn.send({"type": "submit", "batch_id": "dup", "jobs": [
+            {"seq": 0, "fingerprint": "fp-other",
+             "obligation": obligation_to_wire(toys[1])}]})
         reply = conn.recv()
         assert reply["type"] == "error"
         assert "duplicate" in reply["reason"]
@@ -1023,3 +1183,115 @@ def test_http_result_of_unfinished_job_conflicts():
         assert body["status"] in ("queued", "running")
     finally:
         instance.stop()
+
+
+def test_healthz_reports_degraded_without_workers():
+    """/healthz must not claim "ok" when the service cannot make
+    progress: zero connected workers means "degraded", with the cause
+    spelled out, flipping back to "ok" once a worker registers."""
+    instance = Broker(port=0, http_port=0).start()
+    base = f"http://127.0.0.1:{instance.http_port}"
+    process = None
+    try:
+        status, health = _http("GET", base + "/healthz")
+        assert status == 200          # still 200: probes keep passing
+        assert health["status"] == "degraded"
+        assert any("no workers" in reason for reason in health["reasons"])
+        assert health["poisoned"] == 0
+        process = _spawn_worker(instance.address)
+        assert _wait_for(lambda: instance.snapshot()["workers"],
+                         timeout=30)
+        status, health = _http("GET", base + "/healthz")
+        assert status == 200 and health["status"] == "ok"
+        assert health["reasons"] == []
+    finally:
+        if process is not None and process.is_alive():
+            process.terminate()
+            process.join(timeout=5)
+        instance.stop()
+
+
+def test_bounded_queue_refuses_and_client_backs_off():
+    """Past --max-queued the broker refuses TCP submits with a
+    retry-after reply and POST /jobs with 503; a RemotePool rides the
+    refusal out with backoff and still gets its verdicts."""
+    instance = Broker(port=0, http_port=0, max_queued=1).start()
+    base = f"http://127.0.0.1:{instance.http_port}"
+    filler = None
+    probe = None
+    client = None
+    worker = None
+    try:
+        obligations = _toy_obligations(2)
+        # Fill the queue: one live batch, no workers to drain it.
+        filler, _ = dial(parse_address(instance.address), role="client",
+                         timeout=5)
+        filler.send({
+            "type": "submit", "batch_id": "filler", "priority": 0,
+            "jobs": [{"seq": 0,
+                      "fingerprint": obligations[0].fingerprint(),
+                      "obligation": obligation_to_wire(obligations[0])}],
+        })
+        # Submits are not acked; the queue depth confirms acceptance.
+        assert _wait_for(lambda: instance.snapshot()["queued"] >= 1)
+        # TCP: a further submit is refused with a retry hint ...
+        probe, _ = dial(parse_address(instance.address), role="client",
+                        timeout=5)
+        probe.send({
+            "type": "submit", "batch_id": "probe", "priority": 0,
+            "jobs": [{"seq": 0,
+                      "fingerprint": obligations[1].fingerprint(),
+                      "obligation": obligation_to_wire(obligations[1])}],
+        })
+        refusal = probe.recv()
+        assert refusal["type"] == "busy"
+        assert refusal["retry_after"] > 0
+        # ... and the job API says 503, with the same hint.
+        status, body = _http("POST", base + "/jobs",
+                             {"kind": "check", "variant": "secure", "k": 1})
+        assert status == 503
+        assert "retry_after" in body
+        health = _http("GET", base + "/healthz")[1]
+        assert health["status"] == "degraded"
+        assert any("queue at bound" in r for r in health["reasons"])
+        # Capacity returns (the filler batch dies with its connection);
+        # a backoff-aware client submits successfully and solves.
+        filler.close()
+        filler = None
+        worker = _spawn_worker(instance.address)
+        client = RemotePool(instance.address)
+        results = client.solve_ordered(obligations)
+        expected = [solve_obligation(ob) for ob in obligations]
+        assert [v.status for v in results] == \
+            [v.status for v in expected]
+    finally:
+        for conn in (filler, probe):
+            if conn is not None:
+                conn.close()
+        if client is not None:
+            client.close()
+        if worker is not None and worker.is_alive():
+            worker.terminate()
+            worker.join(timeout=5)
+        instance.stop()
+
+
+def test_timeout_budget_yields_timeout_verdict():
+    """A wall-budget-bound obligation that cannot finish in time comes
+    back as a distinguishable 'timeout' verdict — locally and through
+    the wire format."""
+    hard = _pigeonhole_obligation(8)
+    hard.wall_budget = 0.05
+    verdict = solve_obligation(hard)
+    assert verdict.status == "timeout"
+    # The budget rides the wire (it is dispatch metadata, so the
+    # fingerprint — the cache identity — must NOT depend on it).
+    wire = obligation_from_wire(
+        json.loads(json.dumps(obligation_to_wire(hard))))
+    assert wire.wall_budget == 0.05
+    assert wire.fingerprint() == hard.fingerprint()
+    unbudgeted = ProofObligation(
+        name=hard.name, nvars=hard.nvars, clauses=hard.clauses,
+        assumptions=hard.assumptions, frozen=hard.frozen,
+        simplify=hard.simplify)
+    assert unbudgeted.fingerprint() == hard.fingerprint()

@@ -342,6 +342,81 @@ def test_cache_corrupted_index_recovers(tmp_path):
     assert set(fresh._entries) == {ob.fingerprint() for ob in obs}
 
 
+def test_cache_corrupt_verdict_payload_is_quarantined_miss(tmp_path):
+    """A truncated or bit-flipped verdict file must read as a miss (and
+    be moved to _quarantine/ for post-mortem), never crash a lookup or
+    serve garbage as a proof result."""
+    obs = _sized_obligations(2)
+    cache = ResultCache(str(tmp_path))
+    for ob in obs:
+        cache.store(ob, solve_obligation(ob))
+    path0 = tmp_path / f"{obs[0].fingerprint()}.json"
+    path1 = tmp_path / f"{obs[1].fingerprint()}.json"
+    # Truncation: half the bytes of a valid entry.
+    blob = path0.read_bytes()
+    path0.write_bytes(blob[:len(blob) // 2])
+    # Bit flip inside the payload: still valid-looking JSON or not,
+    # the CRC no longer matches.
+    blob = bytearray(path1.read_bytes())
+    blob[len(blob) // 2] ^= 0x20
+    path1.write_bytes(bytes(blob))
+    victim = ResultCache(str(tmp_path))
+    assert victim.lookup(obs[0]) is None
+    assert victim.lookup(obs[1]) is None
+    assert victim.quarantined == 2
+    # Quarantined, not deleted — and out of the serving directory.
+    qdir = tmp_path / "_quarantine"
+    assert sorted(p.name for p in qdir.iterdir()) == sorted(
+        [path0.name, path1.name])
+    assert not path0.exists() and not path1.exists()
+    # The miss is recoverable: a re-store of the same obligation works
+    # and subsequent caches serve it again.
+    victim.store(obs[0], solve_obligation(obs[0]))
+    assert ResultCache(str(tmp_path)).lookup(obs[0]) is not None
+
+
+def test_cache_corrupt_simplified_payload_is_quarantined_miss(tmp_path):
+    """Corrupt warm-start (.simp) entries are a miss too — the solve
+    falls back to preprocessing from scratch instead of crashing or
+    warm-starting from garbage clauses."""
+    ob = _obligation([[1, 2], [-1, 2], [1, -2]], nvars=6)
+    cache = ResultCache(str(tmp_path))
+    fingerprint = ob.fingerprint()
+    cache.store_simplified(fingerprint,
+                           {"nvars": 6, "clauses": [[1, 2]]})
+    assert cache.lookup_simplified(fingerprint) is not None
+    simp_path = tmp_path / f"{fingerprint}.simp.json"
+    blob = bytearray(simp_path.read_bytes())
+    blob[len(blob) // 3] ^= 0x08
+    simp_path.write_bytes(bytes(blob))
+    victim = ResultCache(str(tmp_path))
+    assert victim.lookup_simplified(fingerprint) is None
+    assert victim.quarantined == 1
+    assert not simp_path.exists()
+    # End to end: a solve with the corrupt-then-quarantined cache still
+    # produces the right verdict.
+    assert solve_obligation(ob, simp_cache=victim).status == \
+        solve_obligation(ob).status
+
+
+def test_cache_legacy_entry_without_crc_still_served(tmp_path):
+    """Pre-CRC cache entries (no "crc32" field) stay readable — a
+    version upgrade must not cold-start every fleet cache."""
+    import json as json_mod
+
+    ob = _obligation([[1, 2]])
+    cache = ResultCache(str(tmp_path))
+    cache.store(ob, solve_obligation(ob))
+    path = tmp_path / f"{ob.fingerprint()}.json"
+    payload = json_mod.loads(path.read_text())
+    assert "crc32" in payload
+    del payload["crc32"]
+    path.write_text(json_mod.dumps(payload))
+    legacy = ResultCache(str(tmp_path))
+    assert legacy.lookup(ob) is not None
+    assert legacy.quarantined == 0
+
+
 def test_cache_index_not_counted_and_not_served(tmp_path):
     cache = ResultCache(str(tmp_path))
     ob = _obligation([[1, 2]])
